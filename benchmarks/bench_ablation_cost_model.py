@@ -1,0 +1,16 @@
+"""Ablation (beyond the paper): Equation 11 vs Equation 12 replication.
+
+The greedy grouper uses the whole-partition estimate (Eq 12) because the
+master lacks object-level data; this bench shows how much it over-estimates
+the exact count (Eq 11) across pivot counts.
+"""
+
+from repro.bench import ablation_cost_model_experiment
+
+
+
+
+def test_ablation_cost_model(benchmark, exhibit_runner):
+    result = exhibit_runner(ablation_cost_model_experiment)
+    for pivots, record in result.data.items():
+        assert record["approx"] >= record["exact"], pivots

@@ -1,0 +1,80 @@
+"""Extension bench: exact PGBJ vs the approximate z-order join (H-zkNNJ).
+
+The paper excludes approximate methods; this bench quantifies what that
+exclusion costs/buys — recall below 1.0 in exchange for a fraction of the
+distance computations — inside the same harness.  The workload is the 2-d
+OSM replica: space-filling curves are designed for low dimensions (the
+10-d case is shown, much less flatteringly, in
+examples/approximate_tradeoff.py).
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentResult, osm_workload, run_pgbj
+from repro.bench.harness import DEFAULTS, scaled_pivots
+from repro.joins import ZOrderConfig, ZOrderKnnJoin, recall_against
+from repro.metrics import format_table
+
+
+def zorder_vs_exact_experiment(seed: int = 0) -> ExperimentResult:
+    """Sweep the shift count; compare against the exact PGBJ result."""
+    data = osm_workload(seed=seed)
+    k = DEFAULTS["k"]
+    exact = run_pgbj(data, data, k=k, seed=seed, num_pivots=scaled_pivots(48))
+    rows = [
+        [
+            "PGBJ (exact)",
+            "-",
+            1.0,
+            1.0,
+            round(exact.selectivity() * 1000, 2),
+            round(exact.shuffle_bytes() / 1e6, 3),
+        ]
+    ]
+    raw = {"exact_selectivity_permille": exact.selectivity() * 1000, "shifts": {}}
+    for shifts in (1, 2, 4):
+        outcome = ZOrderKnnJoin(
+            ZOrderConfig(
+                k=k, num_reducers=DEFAULTS["num_reducers"], num_shifts=shifts, seed=seed
+            )
+        ).run(data, data)
+        recall, ratio = recall_against(outcome.result, exact.result)
+        rows.append(
+            [
+                "z-order",
+                shifts,
+                round(recall, 4),
+                round(ratio, 4),
+                round(outcome.selectivity() * 1000, 2),
+                round(outcome.shuffle_bytes() / 1e6, 3),
+            ]
+        )
+        raw["shifts"][str(shifts)] = {
+            "recall": recall,
+            "ratio": ratio,
+            "selectivity_permille": outcome.selectivity() * 1000,
+        }
+    text = format_table(
+        ["method", "#shifts", "recall", "dist ratio", "selectivity (permille)", "shuffle MB"],
+        rows,
+        title="Extension: exact vs approximate (H-zkNNJ-style) kNN join",
+    )
+    return ExperimentResult(
+        exhibit="ext_zorder",
+        title="Approximate z-order join vs exact PGBJ",
+        text=text,
+        data=raw,
+        params={"objects": len(data), "k": k},
+    )
+
+
+def test_ext_zorder_tradeoff(benchmark, exhibit_runner):
+    result = exhibit_runner(zorder_vs_exact_experiment)
+    shifts = result.data["shifts"]
+    # recall grows with the number of shifted curves
+    assert shifts["4"]["recall"] > shifts["1"]["recall"]
+    assert shifts["4"]["recall"] > 0.6
+    # the approximation buys a large selectivity reduction over exact PGBJ
+    assert shifts["2"]["selectivity_permille"] < result.data["exact_selectivity_permille"]
+    # approximate distances never beat the exact radius
+    assert all(np.isfinite(v["ratio"]) and v["ratio"] >= 0.999 for v in shifts.values())

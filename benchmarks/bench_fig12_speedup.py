@@ -1,0 +1,41 @@
+"""Figure 12: speedup with the number of computing nodes (9..36).
+
+Paper shape: all approaches speed up sublinearly; PGBJ's selectivity is
+constant in the node count while the block framework's grows; shuffling cost
+rises with nodes.
+"""
+
+from repro.bench import speedup_experiment
+
+
+
+
+def test_fig12_speedup(benchmark, exhibit_runner):
+    result = exhibit_runner(speedup_experiment)
+    nodes = [str(n) for n in result.params["nodes"]]
+
+    # H-BRJ (compute-dominated) speeds up with nodes, but sublinearly
+    # (paper Section 6.5); PGBJ's curve is nearly flat at reproduction scale
+    # — the paper's own "improvement is getting less obvious" — so it only
+    # gets a no-significant-slowdown check (its measured work is tiny and
+    # single-run timing is noisy).
+    hbrj_first = result.data["H-BRJ"][nodes[0]]["seconds"]
+    hbrj_last = result.data["H-BRJ"][nodes[-1]]["seconds"]
+    assert hbrj_last < hbrj_first
+    assert hbrj_first / hbrj_last < int(nodes[-1]) / int(nodes[0])  # sublinear
+    pgbj_first = result.data["PGBJ"][nodes[0]]["seconds"]
+    pgbj_last = result.data["PGBJ"][nodes[-1]]["seconds"]
+    assert pgbj_last < pgbj_first * 1.2
+    # PGBJ stays the fastest at every node count
+    for n in nodes:
+        assert result.data["PGBJ"][n]["seconds"] < result.data["H-BRJ"][n]["seconds"]
+
+    # PGBJ selectivity insensitive to node count; H-BRJ's grows
+    pgbj_sel = [result.data["PGBJ"][n]["selectivity_permille"] for n in nodes]
+    hbrj_sel = [result.data["H-BRJ"][n]["selectivity_permille"] for n in nodes]
+    assert max(pgbj_sel) < 1.3 * min(pgbj_sel)
+    assert hbrj_sel[-1] > hbrj_sel[0]
+
+    # shuffling cost increases with the number of nodes
+    pgbj_shuffle = [result.data["PGBJ"][n]["shuffle_mb"] for n in nodes]
+    assert pgbj_shuffle[-1] > pgbj_shuffle[0]

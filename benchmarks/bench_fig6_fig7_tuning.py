@@ -1,0 +1,31 @@
+"""Figures 6 & 7: the tuning sweep (one PGBJ pipeline run per combo x |P|).
+
+Figure 6 shape: k-means pivot selection costs more preprocessing than random;
+greedy grouping costs much more than geometric grouping.
+Figure 7 shape: replication of S decreases as the pivot count grows; greedy
+grouping replicates no more than geometric.
+"""
+
+from repro.bench import fig6_fig7_experiment
+
+
+
+
+def test_fig6_fig7_tuning(benchmark, exhibit_runner):
+    fig6, fig7 = exhibit_runner(fig6_fig7_experiment)
+    pivot_counts = [str(p) for p in (64, 128, 192, 256)]
+
+    # Fig 6: k-means selection phase costs more than random selection
+    for pivots in pivot_counts:
+        kge = fig6.data["KGE"][pivots]["phases"]["pivot_selection"]
+        rge = fig6.data["RGE"][pivots]["phases"]["pivot_selection"]
+        assert kge > rge
+
+    # Fig 6: greedy grouping phase costs more than geometric
+    rgr = fig6.data["RGR"][pivot_counts[-1]]["phases"]["partition_grouping"]
+    rge = fig6.data["RGE"][pivot_counts[-1]]["phases"]["partition_grouping"]
+    assert rgr > rge
+
+    # Fig 7(b): replication decreases with pivot count (RGE line)
+    reps = [fig7.data["RGE"][p]["avg_replication"] for p in pivot_counts]
+    assert reps[-1] < reps[0]

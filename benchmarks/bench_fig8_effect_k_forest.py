@@ -1,0 +1,27 @@
+"""Figure 8: effect of k on the Forest workload.
+
+Paper shape: PGBJ fastest and most selective at every k; PGBJ's shuffling
+cost nearly flat in k while PBJ/H-BRJ grow linearly.
+"""
+
+from repro.bench import effect_of_k_experiment
+
+
+
+
+def test_fig8_effect_of_k_forest(benchmark, exhibit_runner):
+    result = exhibit_runner(effect_of_k_experiment, "forest")
+    ks = [str(k) for k in result.params["ks"]]
+
+    for k in ks:
+        assert result.data["PGBJ"][k]["seconds"] < result.data["H-BRJ"][k]["seconds"]
+        assert (
+            result.data["PGBJ"][k]["selectivity_permille"]
+            < result.data["H-BRJ"][k]["selectivity_permille"]
+        )
+
+    # shuffle: PGBJ insensitive to k, the block framework linear in k
+    pgbj_growth = result.data["PGBJ"][ks[-1]]["shuffle_mb"] / result.data["PGBJ"][ks[0]]["shuffle_mb"]
+    hbrj_growth = result.data["H-BRJ"][ks[-1]]["shuffle_mb"] / result.data["H-BRJ"][ks[0]]["shuffle_mb"]
+    assert pgbj_growth < 1.5
+    assert hbrj_growth > 1.8

@@ -1,0 +1,116 @@
+"""Micro-benchmarks of the library's hot primitives.
+
+Unlike the exhibit benches (single full sweeps), these use pytest-benchmark's
+normal repeated timing to track the throughput of the kernels everything else
+is built from: Voronoi assignment, summary building, theta computation,
+R-tree bulk load and query, and the reducer kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset, VoronoiPartitioner, get_metric
+from repro.core.bounds import compute_thetas
+from repro.core.summary import build_partial_summary
+from repro.datasets import generate_forest
+from repro.rtree import RTree
+
+
+@pytest.fixture(scope="module")
+def forest():
+    return generate_forest(4000, seed=1)
+
+
+@pytest.fixture(scope="module")
+def pivots(forest):
+    rng = np.random.default_rng(0)
+    return forest.points[rng.choice(len(forest), 128, replace=False)]
+
+
+def test_voronoi_assignment_throughput(benchmark, forest, pivots):
+    def assign():
+        return VoronoiPartitioner(pivots, get_metric("l2")).assign(forest)
+
+    assignment = benchmark(assign)
+    assert assignment.counts().sum() == len(forest)
+
+
+def test_summary_build_throughput(benchmark, forest, pivots):
+    assignment = VoronoiPartitioner(pivots, get_metric("l2")).assign(forest)
+
+    def build():
+        return build_partial_summary(
+            assignment.partition_ids, assignment.pivot_distances, k=10
+        )
+
+    table = benchmark(build)
+    assert len(table) > 0
+
+
+def test_theta_computation_throughput(benchmark, forest, pivots):
+    metric = get_metric("l2")
+    partitioner = VoronoiPartitioner(pivots, metric)
+    assignment = partitioner.assign(forest)
+    tr = build_partial_summary(assignment.partition_ids, assignment.pivot_distances, 0)
+    ts = build_partial_summary(assignment.partition_ids, assignment.pivot_distances, 10)
+    pdm = partitioner.pivot_distance_matrix()
+
+    thetas = benchmark(compute_thetas, tr, ts, pdm, 10)
+    assert len(thetas) == len(tr)
+
+
+def test_rtree_bulk_load(benchmark, forest):
+    def build():
+        return RTree.bulk_load(forest.points, forest.ids, get_metric("l2"), 32)
+
+    tree = benchmark(build)
+    assert len(tree) == len(forest)
+
+
+def test_rtree_knn_query(benchmark, forest):
+    tree = RTree.bulk_load(forest.points, forest.ids, get_metric("l2"), 32)
+    query = forest.points[17]
+
+    ids, dists = benchmark(tree.knn, query, 10)
+    assert ids.size == 10
+
+
+def test_btree_bulk_load(benchmark, forest):
+    from repro.btree import BPlusTree
+
+    pairs = list(zip(forest.points[:, 0].tolist(), range(len(forest))))
+
+    tree = benchmark(BPlusTree.bulk_load, pairs, 64)
+    assert len(tree) == len(forest)
+
+
+def test_btree_range_scan(benchmark, forest):
+    from repro.btree import BPlusTree
+
+    keys = forest.points[:, 0]
+    tree = BPlusTree.bulk_load(list(zip(keys.tolist(), range(len(forest)))), 64)
+    lo, hi = float(np.quantile(keys, 0.4)), float(np.quantile(keys, 0.6))
+
+    hits = benchmark(lambda: sum(1 for _ in tree.range_scan(lo, hi)))
+    assert hits > 0
+
+
+def test_idistance_knn_query(benchmark, forest):
+    from repro.idistance import IDistanceIndex
+
+    rng = np.random.default_rng(1)
+    pivots = forest.points[rng.choice(len(forest), 32, replace=False)]
+    index = IDistanceIndex(forest.points, forest.ids, pivots, get_metric("l2"))
+    query = forest.points[17]
+
+    ids, dists = benchmark(index.knn, query, 10)
+    assert ids.size == 10
+
+
+def test_zorder_transform(benchmark, forest):
+    from repro.core.zorder import ZOrderTransform
+
+    transform = ZOrderTransform.for_points(forest.points, bits=16)
+
+    codes = benchmark(transform.z_values, forest.points[:1000])
+    assert len(codes) == 1000

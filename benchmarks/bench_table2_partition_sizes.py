@@ -1,0 +1,18 @@
+"""Table 2: partition-size statistics per pivot-selection strategy.
+
+Paper shape to reproduce: the farthest strategy's max/dev dwarf random and
+k-means; deviation shrinks as the pivot count grows.
+"""
+
+from repro.bench import table2_experiment
+
+
+
+
+def test_table2_partition_sizes(benchmark, exhibit_runner):
+    result = exhibit_runner(table2_experiment)
+    data = result.data
+    # farthest selection must show the paper's pathological skew
+    assert max(data["farthest"]["dev"]) > 3 * max(data["random"]["dev"])
+    # deviation shrinks with more pivots for the sane strategies
+    assert data["random"]["dev"][-1] < data["random"]["dev"][0]

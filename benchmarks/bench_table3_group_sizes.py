@@ -1,0 +1,18 @@
+"""Table 3: group-size statistics under geometric grouping.
+
+Paper shape: geometric grouping balances groups almost perfectly for random
+and k-means pivots; farthest pivots leave visible imbalance.
+"""
+
+from repro.bench import table3_experiment
+
+
+
+
+def test_table3_group_sizes(benchmark, exhibit_runner):
+    result = exhibit_runner(table3_experiment)
+    data = result.data
+    # random/k-means groups are tightly balanced relative to farthest
+    assert max(data["random"]["dev"]) <= max(data["farthest"]["dev"])
+    avg_size = result.params["objects"] / result.params["num_groups"]
+    assert max(data["random"]["dev"]) < 0.5 * avg_size

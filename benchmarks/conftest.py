@@ -1,0 +1,38 @@
+"""Shared driver for the exhibit benchmarks.
+
+Each exhibit bench runs its experiment exactly once (``pedantic(rounds=1)``:
+the experiments are full parameter sweeps, not micro-kernels), saves the JSON
+record under ``results/`` and prints the paper-style table (visible with
+``pytest -s``; always saved to disk regardless).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def exhibit_runner(benchmark):
+    """Time one experiment sweep, persist and display its result(s)."""
+
+    def run(experiment_fn, *args, **kwargs):
+        holder = {}
+
+        def once():
+            holder["result"] = experiment_fn(*args, **kwargs)
+
+        benchmark.pedantic(once, rounds=1, iterations=1)
+        result = holder["result"]
+        records = result if isinstance(result, tuple) else (result,)
+        for record in records:
+            record.save(RESULTS_DIR)
+            print()
+            print(record.show())
+            benchmark.extra_info[record.exhibit] = record.params
+        return result
+
+    return run

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so the package installs in offline environments that lack the ``wheel``
+package (``pip install -e .`` needs it to build editable wheels; ``python
+setup.py develop`` does not).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

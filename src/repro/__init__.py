@@ -1,0 +1,83 @@
+"""repro — reproduction of "Efficient Processing of k Nearest Neighbor Joins
+using MapReduce" (Lu, Shen, Chen, Ooi; PVLDB 5(10), 2012).
+
+Public API tour
+---------------
+
+Datasets and metric space::
+
+    from repro import Dataset, get_metric
+    from repro.datasets import generate_forest, generate_osm, expand_dataset
+
+Running a join (PGBJ is the paper's algorithm)::
+
+    from repro import PGBJ, PgbjConfig
+    outcome = PGBJ(PgbjConfig(k=10, num_reducers=9, num_pivots=64)).run(r, s)
+    outcome.result.neighbors_of(r_id)   # -> (ids, dists)
+    outcome.selectivity()               # Equation 13
+    outcome.shuffle_bytes()             # shuffling cost
+    outcome.simulated_seconds(Cluster(num_nodes=36))
+
+Baselines: :class:`HBRJ` (R-tree block join), :class:`PBJ` (pruning without
+grouping), :class:`BroadcastJoin` (naive).  All are exact and agree with the
+brute-force join.
+"""
+
+from .core import (
+    Dataset,
+    KnnJoinResult,
+    Metric,
+    PartitionAssignment,
+    SummaryTable,
+    VoronoiPartitioner,
+    brute_force_knn_join,
+    get_metric,
+)
+from .joins import (
+    HBRJ,
+    PBJ,
+    PGBJ,
+    BlockJoinConfig,
+    BroadcastJoin,
+    DistributedRangeSelection,
+    IJoinBlock,
+    JoinConfig,
+    JoinOutcome,
+    PgbjConfig,
+    TopKClosestPairs,
+    ZOrderConfig,
+    ZOrderKnnJoin,
+    make_algorithm,
+)
+from .mapreduce import Cluster, LocalRuntime, MapReduceJob
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "Metric",
+    "get_metric",
+    "VoronoiPartitioner",
+    "PartitionAssignment",
+    "SummaryTable",
+    "KnnJoinResult",
+    "brute_force_knn_join",
+    "JoinConfig",
+    "PgbjConfig",
+    "BlockJoinConfig",
+    "JoinOutcome",
+    "PGBJ",
+    "PBJ",
+    "HBRJ",
+    "BroadcastJoin",
+    "IJoinBlock",
+    "ZOrderKnnJoin",
+    "ZOrderConfig",
+    "TopKClosestPairs",
+    "DistributedRangeSelection",
+    "make_algorithm",
+    "Cluster",
+    "LocalRuntime",
+    "MapReduceJob",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""B+-tree substrate (backing the iDistance index, paper refs [19, 20, 9])."""
+
+from .btree import BPlusTree
+from .node import InternalNode, LeafNode
+
+__all__ = ["BPlusTree", "LeafNode", "InternalNode"]

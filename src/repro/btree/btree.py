@@ -1,0 +1,222 @@
+"""A B+-tree over float keys.
+
+The centralized index family the paper's related work builds kNN joins on
+(iJoin [19] and iDistance [20, 9] use B+-trees); here it backs the
+:mod:`repro.idistance` substrate.  Supports insertion, point lookup of all
+values under a key, sorted range scans via the leaf chain, bidirectional
+scans from an arbitrary key (what iDistance's expanding ring search needs),
+and bulk loading from sorted pairs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections.abc import Iterator
+
+from .node import BTreeNode, InternalNode, LeafNode
+
+__all__ = ["BPlusTree"]
+
+
+class BPlusTree:
+    """An in-memory B+-tree with chained leaves.
+
+    Parameters
+    ----------
+    order:
+        Maximum entries per node (split at ``order + 1``); >= 3.
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 3:
+            raise ValueError("order must be >= 3")
+        self.order = order
+        self.root: BTreeNode = LeafNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- construction ----------------------------------------------------------
+
+    def insert(self, key: float, value: object) -> None:
+        """Insert one pair (duplicate keys allowed)."""
+        self._size += 1
+        split = self._insert_into(self.root, float(key), value)
+        if split is not None:
+            separator, right = split
+            self.root = InternalNode([separator], [self.root, right])
+
+    def _insert_into(self, node: BTreeNode, key: float, value: object):
+        if node.is_leaf:
+            node.insert(key, value)
+            if len(node) > self.order:
+                return node.split()
+            return None
+        index, child = node.child_for(key)
+        split = self._insert_into(child, key, value)
+        if split is not None:
+            separator, right = split
+            node.insert_child(index, separator, right)
+            if len(node.keys) > self.order:
+                return node.split()
+        return None
+
+    @classmethod
+    def bulk_load(
+        cls, pairs: list[tuple[float, object]], order: int = 64
+    ) -> "BPlusTree":
+        """Build from (key, value) pairs (sorted internally), bottom-up.
+
+        Produces packed leaves at ~full occupancy — the fast path for the
+        per-partition iDistance indexes built inside reducers.
+        """
+        tree = cls(order)
+        pairs = sorted(pairs, key=lambda pair: pair[0])
+        tree._size = len(pairs)
+        if not pairs:
+            return tree
+        leaves: list[LeafNode] = []
+        for start in range(0, len(pairs), order):
+            leaf = LeafNode()
+            chunk = pairs[start : start + order]
+            leaf.keys = [float(key) for key, _ in chunk]
+            leaf.values = [value for _, value in chunk]
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        nodes: list[BTreeNode] = list(leaves)
+        separators = [leaf.keys[0] for leaf in leaves]
+        while len(nodes) > 1:
+            parents: list[BTreeNode] = []
+            parent_separators: list[float] = []
+            for start in range(0, len(nodes), order + 1):
+                group = nodes[start : start + order + 1]
+                group_seps = separators[start + 1 : start + len(group)]
+                parents.append(InternalNode(group_seps, group))
+                parent_separators.append(separators[start])
+            nodes = parents
+            separators = parent_separators
+        tree.root = nodes[0]
+        return tree
+
+    # -- queries -----------------------------------------------------------------
+
+    def _leaf_for(self, key: float) -> tuple[LeafNode, int]:
+        """The leaf and in-leaf index of the first entry with key >= ``key``."""
+        node = self.root
+        while not node.is_leaf:
+            _, node = node.leftmost_child_for(key)
+        index = bisect_left(node.keys, key)
+        # key may be greater than everything in this leaf; step right
+        while index >= len(node.keys) and node.next_leaf is not None:
+            node = node.next_leaf
+            index = 0
+        return node, index
+
+    def search(self, key: float) -> list[object]:
+        """All values stored under exactly ``key``."""
+        leaf, index = self._leaf_for(float(key))
+        out: list[object] = []
+        while leaf is not None:
+            while index < len(leaf.keys) and leaf.keys[index] == key:
+                out.append(leaf.values[index])
+                index += 1
+            if index < len(leaf.keys) or leaf.next_leaf is None:
+                break
+            leaf, index = leaf.next_leaf, 0
+        return out
+
+    def range_scan(self, low: float, high: float) -> Iterator[tuple[float, object]]:
+        """All pairs with ``low <= key <= high``, in key order."""
+        if low > high:
+            return
+        leaf, index = self._leaf_for(float(low))
+        while leaf is not None:
+            while index < len(leaf.keys):
+                if leaf.keys[index] > high:
+                    return
+                yield leaf.keys[index], leaf.values[index]
+                index += 1
+            leaf, index = leaf.next_leaf, 0
+
+    def items(self) -> Iterator[tuple[float, object]]:
+        """Every pair in key order (full leaf-chain scan)."""
+        yield from self.range_scan(float("-inf"), float("inf"))
+
+    def scan_outward(self, key: float) -> Iterator[tuple[float, object]]:
+        """Pairs in order of increasing ``|key - entry_key|``.
+
+        The access pattern of iDistance's expanding ring search: from the
+        start position, merge a rightward and a leftward cursor, always
+        yielding the closer key next.
+        """
+        key = float(key)
+        forward = self.range_scan(key, float("inf"))
+        backward = self._reverse_scan(key)
+        next_fwd = next(forward, None)
+        next_bwd = next(backward, None)
+        while next_fwd is not None or next_bwd is not None:
+            if next_bwd is None or (
+                next_fwd is not None and next_fwd[0] - key <= key - next_bwd[0]
+            ):
+                yield next_fwd
+                next_fwd = next(forward, None)
+            else:
+                yield next_bwd
+                next_bwd = next(backward, None)
+
+    def _reverse_scan(self, key: float) -> Iterator[tuple[float, object]]:
+        """Pairs with key < ``key`` in descending key order.
+
+        Leaves are singly linked, so the reverse walk materializes the prefix
+        leaf chain once; acceptable for the in-reducer index sizes this
+        substrate serves.
+        """
+        leaf: LeafNode | None = self.root
+        while not leaf.is_leaf:
+            leaf = leaf.children[0]
+        collected: list[tuple[float, object]] = []
+        while leaf is not None:
+            stop = bisect_left(leaf.keys, key)
+            collected.extend(zip(leaf.keys[:stop], leaf.values[:stop]))
+            if stop < len(leaf.keys):
+                break
+            leaf = leaf.next_leaf
+        yield from reversed(collected)
+
+    # -- invariants (used by tests) -------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify ordering, fanout, uniform depth and leaf-chain coverage."""
+        depths: set[int] = set()
+        leaf_count = 0
+
+        def visit(node: BTreeNode, depth: int, lo: float, hi: float) -> None:
+            nonlocal leaf_count
+            if node is not self.root and len(node) < 1:
+                raise AssertionError("underfull node")
+            if node.is_leaf:
+                depths.add(depth)
+                leaf_count += len(node)
+                if any(a > b for a, b in zip(node.keys, node.keys[1:])):
+                    raise AssertionError("unsorted leaf keys")
+                if node.keys and (node.keys[0] < lo or node.keys[-1] > hi):
+                    raise AssertionError("leaf keys escape separator range")
+                return
+            if len(node.children) != len(node.keys) + 1:
+                raise AssertionError("internal fanout mismatch")
+            if len(node.keys) > self.order:
+                raise AssertionError("internal node over order")
+            bounds = [lo] + list(node.keys) + [hi]
+            for index, child in enumerate(node.children):
+                visit(child, depth + 1, bounds[index], bounds[index + 1])
+
+        visit(self.root, 0, float("-inf"), float("inf"))
+        if len(depths) != 1:
+            raise AssertionError(f"leaves at multiple depths: {sorted(depths)}")
+        if leaf_count != self._size:
+            raise AssertionError(f"size mismatch: {leaf_count} != {self._size}")
+        chained = sum(1 for _ in self.items())
+        if chained != self._size:
+            raise AssertionError("leaf chain does not cover the tree")

@@ -1,0 +1,93 @@
+"""B+-tree nodes.
+
+Classic database-style B+-tree: internal nodes hold separator keys and child
+pointers; leaves hold (key, value) pairs and are chained left-to-right for
+range scans.  Keys are floats (the iDistance substrate maps objects to
+one-dimensional pivot-distance keys), values are opaque.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+__all__ = ["LeafNode", "InternalNode", "BTreeNode"]
+
+
+class LeafNode:
+    """A leaf page: sorted keys with parallel values, chained to the right."""
+
+    __slots__ = ("keys", "values", "next_leaf")
+
+    is_leaf = True
+
+    def __init__(self) -> None:
+        self.keys: list[float] = []
+        self.values: list[object] = []
+        self.next_leaf: LeafNode | None = None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def insert(self, key: float, value: object) -> None:
+        """Insert keeping keys sorted; equal keys insert after existing ones."""
+        index = bisect_right(self.keys, key)
+        self.keys.insert(index, key)
+        self.values.insert(index, value)
+
+    def split(self) -> tuple[float, "LeafNode"]:
+        """Split in half; returns (separator key, new right sibling)."""
+        middle = len(self.keys) // 2
+        right = LeafNode()
+        right.keys = self.keys[middle:]
+        right.values = self.values[middle:]
+        self.keys = self.keys[:middle]
+        self.values = self.values[:middle]
+        right.next_leaf = self.next_leaf
+        self.next_leaf = right
+        return right.keys[0], right
+
+
+class InternalNode:
+    """An internal page: ``len(children) == len(keys) + 1``.
+
+    ``keys[i]`` separates ``children[i]`` (< key) from ``children[i+1]``
+    (>= key).
+    """
+
+    __slots__ = ("keys", "children")
+
+    is_leaf = False
+
+    def __init__(self, keys: list[float], children: list) -> None:
+        self.keys = keys
+        self.children = children
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def child_for(self, key: float) -> tuple[int, object]:
+        """The (index, child) responsible for ``key``."""
+        index = bisect_right(self.keys, key)
+        return index, self.children[index]
+
+    def leftmost_child_for(self, key: float) -> tuple[int, object]:
+        """The (index, child) where the *first* occurrence of ``key`` lives."""
+        index = bisect_left(self.keys, key)
+        return index, self.children[index]
+
+    def insert_child(self, index: int, separator: float, child: object) -> None:
+        """Insert a new separator/child produced by a split of child index-1."""
+        self.keys.insert(index, separator)
+        self.children.insert(index + 1, child)
+
+    def split(self) -> tuple[float, "InternalNode"]:
+        """Split in half; the middle key moves up, not into either half."""
+        middle = len(self.keys) // 2
+        separator = self.keys[middle]
+        right = InternalNode(self.keys[middle + 1 :], self.children[middle + 1 :])
+        self.keys = self.keys[:middle]
+        self.children = self.children[: middle + 1]
+        return separator, right
+
+
+BTreeNode = LeafNode | InternalNode

@@ -1,0 +1,182 @@
+"""Command-line interface: run joins and reproduce the paper's exhibits.
+
+Examples::
+
+    repro info
+    repro join --algorithm pgbj --dataset forest --objects 2000 --k 10
+    repro bench fig8
+    repro bench all --results-dir results
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import (
+    ablation_cost_model_experiment,
+    ablation_pruning_experiment,
+    dimensionality_experiment,
+    effect_of_k_experiment,
+    fig6_fig7_experiment,
+    scalability_experiment,
+    speedup_experiment,
+    table2_experiment,
+    table3_experiment,
+)
+from repro.bench.harness import DEFAULTS, bench_scale, default_cluster
+from repro.datasets import expand_dataset, generate_forest, generate_osm
+from repro.joins import (
+    HBRJ,
+    PBJ,
+    PGBJ,
+    BlockJoinConfig,
+    BroadcastJoin,
+    JoinConfig,
+    PgbjConfig,
+)
+
+__all__ = ["main"]
+
+#: exhibit name -> zero-argument callable returning ExperimentResult(s)
+EXHIBITS = {
+    "table2": table2_experiment,
+    "table3": table3_experiment,
+    "fig6": fig6_fig7_experiment,  # fig6 and fig7 share one sweep
+    "fig7": fig6_fig7_experiment,
+    "fig8": lambda: effect_of_k_experiment("forest"),
+    "fig9": lambda: effect_of_k_experiment("osm"),
+    "fig10": dimensionality_experiment,
+    "fig11": scalability_experiment,
+    "fig12": speedup_experiment,
+    "ablation_pruning": ablation_pruning_experiment,
+    "ablation_cost_model": ablation_cost_model_experiment,
+}
+
+#: exhibits run by `repro bench all`, deduplicated (fig6 covers fig7)
+ALL_ORDER = (
+    "table2",
+    "table3",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablation_pruning",
+    "ablation_cost_model",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Efficient Processing of kNN Joins using MapReduce' (VLDB 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show version, defaults and bench scale")
+
+    join = sub.add_parser("join", help="run one kNN join and print its measurements")
+    join.add_argument(
+        "--algorithm", choices=["pgbj", "pbj", "hbrj", "ijoin", "broadcast"], default="pgbj"
+    )
+    join.add_argument("--dataset", choices=["forest", "osm"], default="forest")
+    join.add_argument("--objects", type=int, default=2000)
+    join.add_argument("--k", type=int, default=10)
+    join.add_argument("--num-reducers", type=int, default=DEFAULTS["num_reducers"])
+    join.add_argument("--num-pivots", type=int, default=DEFAULTS["num_pivots"])
+    join.add_argument("--pivot-selection", choices=["random", "farthest", "kmeans"], default="random")
+    join.add_argument("--grouping", choices=["geometric", "greedy"], default="geometric")
+    join.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser("bench", help="reproduce one exhibit (or `all`)")
+    bench.add_argument("exhibit", choices=list(EXHIBITS) + ["all"])
+    bench.add_argument("--results-dir", default="results")
+
+    return parser
+
+
+def _cmd_info() -> int:
+    from repro import __version__
+
+    print(f"repro {__version__} — PGBJ kNN-join reproduction (VLDB 2012)")
+    print(f"bench scale: {bench_scale()} (set REPRO_BENCH_SCALE to change)")
+    print("bench defaults (paper values in DESIGN.md):")
+    for key, value in DEFAULTS.items():
+        print(f"  {key} = {value}")
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    if args.dataset == "forest":
+        base = generate_forest(max(args.objects // 10, 10), seed=args.seed)
+        data = expand_dataset(base, 10)
+    else:
+        data = generate_osm(args.objects, seed=args.seed)
+    common = dict(
+        k=args.k,
+        num_reducers=args.num_reducers,
+        seed=args.seed,
+    )
+    if args.algorithm == "pgbj":
+        algorithm = PGBJ(
+            PgbjConfig(
+                num_pivots=args.num_pivots,
+                pivot_selection=args.pivot_selection,
+                grouping=args.grouping,
+                **common,
+            )
+        )
+    elif args.algorithm == "pbj":
+        algorithm = PBJ(BlockJoinConfig(num_pivots=args.num_pivots, **common))
+    elif args.algorithm == "hbrj":
+        algorithm = HBRJ(BlockJoinConfig(**common))
+    elif args.algorithm == "ijoin":
+        from repro.joins import IJoinBlock
+
+        algorithm = IJoinBlock(BlockJoinConfig(num_pivots=args.num_pivots, **common))
+    else:
+        algorithm = BroadcastJoin(JoinConfig(**common))
+
+    outcome = algorithm.run(data, data)
+    cluster = default_cluster(args.num_reducers)
+    print(f"algorithm            : {outcome.algorithm}")
+    print(f"|R| = |S|            : {len(data)} ({data.name})")
+    print(f"k                    : {args.k}")
+    print(f"join output pairs    : {outcome.result.total_pairs()}")
+    print(f"simulated seconds    : {outcome.simulated_seconds(cluster):.3f} on {cluster.num_nodes} nodes")
+    print(f"computation selectivity: {outcome.selectivity() * 1000:.3f} per thousand")
+    print(f"shuffling cost       : {outcome.shuffle_bytes() / 1e6:.3f} MB "
+          f"({outcome.shuffle_records()} records)")
+    if outcome.replication_of_s():
+        print(f"avg replication of S : {outcome.avg_replication_of_s():.2f}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    names = ALL_ORDER if args.exhibit == "all" else (args.exhibit,)
+    for name in names:
+        result = EXHIBITS[name]()
+        records = result if isinstance(result, tuple) else (result,)
+        for record in records:
+            path = record.save(args.results_dir)
+            print(record.show())
+            print(f"[saved {path}]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (console script ``repro``)."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "join":
+        return _cmd_join(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Hyperplane and ring pruning rules (paper Theorems 1-2, Corollary 1).
+
+These are the two in-reducer filters used while scanning candidate
+S-partitions for one query object (Algorithm 3, lines 19-22):
+
+* **Theorem 1 / Corollary 1** — generalized-hyperplane pruning.  For pivots
+  ``p_i`` and ``p_j``, every object of cell ``P_j`` is at least
+  ``d(q, HP(p_i, p_j))`` away from a query ``q`` in cell ``P_i``; when that
+  distance exceeds the current kNN radius ``theta``, the whole cell is skipped.
+* **Theorem 2** — metric ring pruning.  Within a surviving cell only objects
+  whose pivot distance lies in the ring
+  ``[max(L, |p_j, q| - theta), min(U, |p_j, q| + theta)]`` can be within
+  ``theta`` of ``q``; with pivot distances sorted, the ring is a contiguous
+  slice found by binary search.
+
+A tiny absolute slack ``PRUNE_EPS`` is applied wherever a floating-point
+comparison could otherwise prune an exact boundary case; the rules are
+necessary conditions, so slack only weakens pruning, never correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PRUNE_EPS",
+    "hyperplane_distance",
+    "partition_pruned_by_hyperplane",
+    "ring_bounds",
+    "ring_slice",
+]
+
+#: absolute slack for floating-point-safe pruning comparisons
+PRUNE_EPS = 1e-9
+
+
+def hyperplane_distance(
+    dist_q_pi: float, dist_q_pj: float, dist_pi_pj: float, euclidean: bool = True
+) -> float:
+    """Lower bound on the distance from ``q`` (cell ``P_i``) to cell ``P_j``.
+
+    For Euclidean space this is the exact distance to the generalized
+    hyperplane ``HP(p_i, p_j)`` (Theorem 1 / Equation 3), expressed purely in
+    already-known distances.  For other metrics Equation 3 does not hold, so
+    the metric-space GH bound ``(|q, p_j| - |q, p_i|) / 2`` (Uhlmann's
+    generalized-hyperplane pruning, valid by the triangle inequality alone)
+    is used instead — looser, but correct.  Positive when ``q`` is on
+    ``p_i``'s side.
+    """
+    if not euclidean:
+        return max(0.0, (dist_q_pj - dist_q_pi) / 2.0)
+    if dist_pi_pj <= 0.0:
+        # coincident pivots: the hyperplane is undefined; nothing can be
+        # pruned, report distance 0 (never exceeds any non-negative theta).
+        return 0.0
+    return (dist_q_pj * dist_q_pj - dist_q_pi * dist_q_pi) / (2.0 * dist_pi_pj)
+
+
+def partition_pruned_by_hyperplane(
+    dist_q_pi: float,
+    dist_q_pj: float,
+    dist_pi_pj: float,
+    theta: float,
+    euclidean: bool = True,
+) -> bool:
+    """Corollary 1: may cell ``P_j`` be skipped entirely for query ``q``?
+
+    True when every object of ``P_j`` is provably farther than ``theta``.
+    """
+    return (
+        hyperplane_distance(dist_q_pi, dist_q_pj, dist_pi_pj, euclidean)
+        > theta + PRUNE_EPS
+    )
+
+
+def ring_bounds(
+    lower: float, upper: float, dist_q_pj: float, theta: float
+) -> tuple[float, float]:
+    """Theorem 2 ring ``[lo, hi]`` of admissible pivot distances.
+
+    ``lower``/``upper`` are ``L(P_j)`` / ``U(P_j)`` from the summary table.
+    An empty ring (``lo > hi``) means no object of the cell qualifies.
+    """
+    lo = max(lower, dist_q_pj - theta) - PRUNE_EPS
+    hi = min(upper, dist_q_pj + theta) + PRUNE_EPS
+    return lo, hi
+
+
+def ring_slice(
+    sorted_pivot_dists: np.ndarray, lower: float, upper: float, dist_q_pj: float, theta: float
+) -> tuple[int, int]:
+    """Indices ``[start, stop)`` of ring survivors in a sorted distance array.
+
+    ``sorted_pivot_dists`` holds the pivot distances of the cell's objects in
+    ascending order; the Theorem 2 ring is then a contiguous slice.
+    """
+    lo, hi = ring_bounds(lower, upper, dist_q_pj, theta)
+    if lo > hi:
+        return 0, 0
+    start = int(np.searchsorted(sorted_pivot_dists, lo, side="left"))
+    stop = int(np.searchsorted(sorted_pivot_dists, hi, side="right"))
+    return start, stop

@@ -1,0 +1,104 @@
+"""Exact in-memory k-nearest-neighbor primitives.
+
+These are the reference kernels: the naive ``O(|R| * |S|)`` join the paper
+uses as its correctness definition (Definition 1/2), plus the small running
+"k-best list" used by every reducer-side kernel.
+
+Tie-breaking: whenever two candidates are equidistant, the one with the
+smaller object id wins.  All algorithms in this library share that rule, so
+exact joins are comparable id-by-id on tie-free data and distance-by-distance
+always.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distance import Metric
+
+__all__ = ["KBestList", "knn_of_point", "brute_force_knn_join"]
+
+
+class KBestList:
+    """A running list of the k best (distance, id) candidates for one query.
+
+    Candidates are fed in batches (numpy arrays); the list keeps the k
+    smallest under the (distance, id) order and exposes the current kNN
+    radius ``theta`` (``+inf`` until k candidates have been seen, per the
+    usual branch-and-bound convention — callers seed ``theta`` with their own
+    initial bound, e.g. Equation 6's ``theta_i``).
+    """
+
+    __slots__ = ("k", "dists", "ids")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.dists = np.empty(0, dtype=np.float64)
+        self.ids = np.empty(0, dtype=np.int64)
+
+    def update(self, dists: np.ndarray, ids: np.ndarray) -> None:
+        """Offer a batch of candidates."""
+        if dists.shape != ids.shape:
+            raise ValueError("dists and ids must align")
+        if dists.size == 0:
+            return
+        all_d = np.concatenate([self.dists, dists])
+        all_i = np.concatenate([self.ids, ids])
+        order = np.lexsort((all_i, all_d))[: self.k]
+        self.dists = all_d[order]
+        self.ids = all_i[order]
+
+    @property
+    def theta(self) -> float:
+        """Current kNN radius: the k-th best distance, ``+inf`` if unfilled."""
+        if self.dists.size < self.k:
+            return np.inf
+        return float(self.dists[-1])
+
+    def is_full(self) -> bool:
+        """True once k candidates have been collected."""
+        return self.dists.size >= self.k
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, dists)`` sorted ascending by (distance, id)."""
+        return self.ids.copy(), self.dists.copy()
+
+
+def knn_of_point(
+    metric: Metric,
+    query: np.ndarray,
+    points: np.ndarray,
+    ids: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact kNN of one query over a point block (counted distances).
+
+    Returns ``(neighbor_ids, distances)`` of length ``min(k, len(points))``,
+    ordered by (distance, id).
+    """
+    dists = metric.distances(query, points)
+    order = np.lexsort((ids, dists))[:k]
+    return np.asarray(ids)[order], dists[order]
+
+
+def brute_force_knn_join(
+    metric: Metric,
+    r_points: np.ndarray,
+    r_ids: np.ndarray,
+    s_points: np.ndarray,
+    s_ids: np.ndarray,
+    k: int,
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """The naive kNN join: scan all of ``S`` for every ``r`` (Definition 2).
+
+    Returns ``{r_id: (neighbor_ids, distances)}``.  This is the ground truth
+    every distributed algorithm is tested against.
+    """
+    out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    r_points = np.atleast_2d(r_points)
+    s_ids = np.asarray(s_ids)
+    for row in range(r_points.shape[0]):
+        out[int(r_ids[row])] = knn_of_point(metric, r_points[row], s_points, s_ids, k)
+    return out

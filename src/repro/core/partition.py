@@ -1,0 +1,158 @@
+"""Voronoi diagram-based data partitioning (paper Section 2.3).
+
+Given a pivot set ``P`` of size ``M``, every object is assigned to the
+partition of its closest pivot, splitting the space into ``M`` "generalized
+Voronoi cells".  Footnote 1 of the paper fixes the tie-break: when several
+pivots are equally close, the object goes to the partition that currently has
+the *smallest number of objects*.
+
+Assigning an object costs ``M`` distance computations (object-to-pivot pairs),
+which the paper explicitly includes in its computation-selectivity measure;
+all assignments therefore run through the counted :class:`~repro.core.distance.Metric`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Dataset
+from .distance import Metric
+
+__all__ = ["VoronoiPartitioner", "PartitionAssignment"]
+
+#: relative slack used when detecting distance ties between pivots
+_TIE_RTOL = 1e-12
+
+
+class PartitionAssignment:
+    """The result of Voronoi-partitioning one dataset.
+
+    Attributes
+    ----------
+    partition_ids:
+        ``(m,)`` int array — index of the closest pivot per object row.
+    pivot_distances:
+        ``(m,)`` float array — distance from each object to its pivot
+        (``k1.dist`` in Algorithm 3; reused by every pruning rule).
+    num_partitions:
+        Total number of pivots ``M`` (cells may be empty).
+    """
+
+    __slots__ = ("partition_ids", "pivot_distances", "num_partitions", "_rows_by_pid")
+
+    def __init__(
+        self, partition_ids: np.ndarray, pivot_distances: np.ndarray, num_partitions: int
+    ) -> None:
+        self.partition_ids = np.asarray(partition_ids, dtype=np.int64)
+        self.pivot_distances = np.asarray(pivot_distances, dtype=np.float64)
+        if self.partition_ids.shape != self.pivot_distances.shape:
+            raise ValueError("partition_ids and pivot_distances must align")
+        self.num_partitions = int(num_partitions)
+        self._rows_by_pid: dict[int, np.ndarray] | None = None
+
+    def rows_of(self, partition_id: int) -> np.ndarray:
+        """Positional rows of the objects in the given cell (possibly empty)."""
+        if self._rows_by_pid is None:
+            order = np.argsort(self.partition_ids, kind="stable")
+            sorted_pids = self.partition_ids[order]
+            boundaries = np.searchsorted(sorted_pids, np.arange(self.num_partitions + 1))
+            self._rows_by_pid = {
+                pid: order[boundaries[pid] : boundaries[pid + 1]]
+                for pid in range(self.num_partitions)
+            }
+        return self._rows_by_pid[int(partition_id)]
+
+    def counts(self) -> np.ndarray:
+        """Objects per cell, shape ``(num_partitions,)``."""
+        return np.bincount(self.partition_ids, minlength=self.num_partitions)
+
+    def non_empty_partitions(self) -> list[int]:
+        """Ids of cells that contain at least one object."""
+        return [int(p) for p in np.flatnonzero(self.counts() > 0)]
+
+    def __len__(self) -> int:
+        return self.partition_ids.shape[0]
+
+
+class VoronoiPartitioner:
+    """Assigns objects to generalized Voronoi cells of a pivot set.
+
+    Parameters
+    ----------
+    pivots:
+        ``(M, n)`` array of pivot coordinates.  Pivots need not belong to the
+        dataset being partitioned (they are selected from ``R`` but partition
+        ``S`` as well).
+    metric:
+        The counted distance metric shared by the whole join pipeline.
+    """
+
+    def __init__(self, pivots: np.ndarray, metric: Metric) -> None:
+        pivots = np.asarray(pivots, dtype=np.float64)
+        if pivots.ndim != 2 or pivots.shape[0] == 0:
+            raise ValueError(f"pivots must be a non-empty 2-d array, got shape {pivots.shape}")
+        self.pivots = pivots
+        self.metric = metric
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of pivots ``M`` — one Voronoi cell each."""
+        return self.pivots.shape[0]
+
+    def assign_points(
+        self, points: np.ndarray, initial_counts: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Assign each row of ``points`` to its closest pivot.
+
+        Ties are broken toward the cell with the fewest objects *so far*
+        (running counts over this call, seeded by ``initial_counts`` so that
+        chunked mappers can keep the invariant across splits).
+
+        Returns ``(partition_ids, pivot_distances)``.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        m = points.shape[0]
+        pids = np.empty(m, dtype=np.int64)
+        dists = np.empty(m, dtype=np.float64)
+        counts = (
+            np.zeros(self.num_partitions, dtype=np.int64)
+            if initial_counts is None
+            else np.asarray(initial_counts, dtype=np.int64).copy()
+        )
+        block = 1024
+        for start in range(0, m, block):
+            chunk = points[start : start + block]
+            all_d = self.metric.cross_distances(chunk, self.pivots)
+            best = all_d.min(axis=1)
+            nearest = all_d.argmin(axis=1)
+            tol = _TIE_RTOL * np.maximum(best, 1.0)
+            tie_rows = np.flatnonzero((all_d <= (best + tol)[:, None]).sum(axis=1) > 1)
+            pids[start : start + chunk.shape[0]] = nearest
+            dists[start : start + chunk.shape[0]] = best
+            if tie_rows.size:
+                # footnote 1: a tied object goes to the smallest partition.
+                # Resolve sequentially so earlier assignments influence later
+                # ones, exactly as a streaming mapper would.
+                counts += np.bincount(
+                    np.delete(nearest, tie_rows), minlength=self.num_partitions
+                )
+                for row in tie_rows:
+                    tied = np.flatnonzero(all_d[row] <= best[row] + tol[row])
+                    pid = int(tied[np.argmin(counts[tied])])
+                    pids[start + row] = pid
+                    counts[pid] += 1
+            else:
+                counts += np.bincount(nearest, minlength=self.num_partitions)
+        return pids, dists
+
+    def assign(self, dataset: Dataset) -> PartitionAssignment:
+        """Partition a whole dataset in one pass."""
+        pids, dists = self.assign_points(dataset.points)
+        return PartitionAssignment(pids, dists, self.num_partitions)
+
+    def pivot_distance_matrix(self) -> np.ndarray:
+        """The ``M x M`` pivot-to-pivot distance matrix ``|p_i, p_j|``.
+
+        Counted: the paper includes pivot pairs in computation selectivity.
+        """
+        return self.metric.cross_distances(self.pivots, self.pivots)

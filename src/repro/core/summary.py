@@ -1,0 +1,156 @@
+"""Summary tables ``T_R`` and ``T_S`` (paper Section 4.2, Figure 3).
+
+The first MapReduce job, while partitioning ``R`` and ``S``, collects small
+in-memory tables of per-partition statistics:
+
+* ``T_R`` keeps, for every partition of ``R``: the partition id, the number of
+  objects, and the minimum/maximum object-to-pivot distances
+  ``L(P_i^R)`` / ``U(P_i^R)``.
+* ``T_S`` keeps the same fields for ``S`` **plus** the ``k`` smallest
+  object-to-pivot distances of the partition (``p_i.d_1 <= ... <= p_i.d_k``),
+  i.e. the distances of ``KNN(p_i, P_i^S)``.  Only those k objects can ever
+  refine the kNN-radius bound of Theorem 3, so nothing more is kept.
+
+Each map task builds a *partial* table over its input split; the partial
+tables are merged when the job completes ("Index Merging" in Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PartitionStat", "SummaryTable", "build_partial_summary"]
+
+
+@dataclass
+class PartitionStat:
+    """One row of a summary table.
+
+    ``knn_distances`` is empty for ``T_R`` rows and holds the (ascending)
+    ``min(k, count)`` smallest object-to-pivot distances for ``T_S`` rows.
+    """
+
+    partition_id: int
+    count: int
+    lower: float  # L(P_i): min object-to-pivot distance
+    upper: float  # U(P_i): max object-to-pivot distance
+    knn_distances: tuple[float, ...] = field(default_factory=tuple)
+
+    def merged_with(self, other: "PartitionStat", k: int) -> "PartitionStat":
+        """Combine two partial rows for the same partition."""
+        if other.partition_id != self.partition_id:
+            raise ValueError("cannot merge rows of different partitions")
+        knn = tuple(sorted(self.knn_distances + other.knn_distances)[:k]) if k else ()
+        return PartitionStat(
+            partition_id=self.partition_id,
+            count=self.count + other.count,
+            lower=min(self.lower, other.lower),
+            upper=max(self.upper, other.upper),
+            knn_distances=knn,
+        )
+
+    def estimated_bytes(self) -> int:
+        """Serialized size (id + count + two bounds + the kNN list)."""
+        return 8 * (4 + len(self.knn_distances))
+
+
+class SummaryTable:
+    """A summary table: a mapping of partition id to :class:`PartitionStat`.
+
+    Parameters
+    ----------
+    k:
+        How many smallest pivot distances each row retains.  Use ``0`` for
+        ``T_R`` and the join's ``k`` for ``T_S``.
+    """
+
+    def __init__(self, k: int = 0) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = k
+        self._rows: dict[int, PartitionStat] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, stat: PartitionStat) -> None:
+        """Insert or merge one (partial) row."""
+        existing = self._rows.get(stat.partition_id)
+        if existing is None:
+            trimmed = PartitionStat(
+                stat.partition_id,
+                stat.count,
+                stat.lower,
+                stat.upper,
+                tuple(sorted(stat.knn_distances)[: self.k]),
+            )
+            self._rows[stat.partition_id] = trimmed
+        else:
+            self._rows[stat.partition_id] = existing.merged_with(stat, self.k)
+
+    def merge(self, other: "SummaryTable") -> None:
+        """Merge another (partial) table into this one in place."""
+        for stat in other.rows():
+            self.add(stat)
+
+    # -- queries --------------------------------------------------------------
+
+    def __contains__(self, partition_id: int) -> bool:
+        return int(partition_id) in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def get(self, partition_id: int) -> PartitionStat:
+        """The row for a partition; raises ``KeyError`` if it is empty/absent."""
+        return self._rows[int(partition_id)]
+
+    def partition_ids(self) -> list[int]:
+        """Sorted ids of partitions present (i.e. non-empty)."""
+        return sorted(self._rows)
+
+    def rows(self) -> list[PartitionStat]:
+        """All rows, ordered by partition id."""
+        return [self._rows[pid] for pid in self.partition_ids()]
+
+    def upper_of(self, partition_id: int) -> float:
+        """``U(P_i)`` convenience accessor."""
+        return self._rows[int(partition_id)].upper
+
+    def counts(self, num_partitions: int) -> np.ndarray:
+        """Dense per-partition counts (zeros for empty cells)."""
+        out = np.zeros(num_partitions, dtype=np.int64)
+        for pid, stat in self._rows.items():
+            out[pid] = stat.count
+        return out
+
+    def estimated_bytes(self) -> int:
+        """Total serialized size of the table (for DFS/broadcast accounting)."""
+        return sum(stat.estimated_bytes() for stat in self._rows.values())
+
+
+def build_partial_summary(
+    partition_ids: np.ndarray, pivot_distances: np.ndarray, k: int = 0
+) -> SummaryTable:
+    """Build the summary table of one map split from its assignments.
+
+    Parameters mirror the per-object output of the first job's mapper: the
+    Voronoi cell of each object and its distance to the cell's pivot.
+    """
+    table = SummaryTable(k=k)
+    partition_ids = np.asarray(partition_ids)
+    pivot_distances = np.asarray(pivot_distances)
+    for pid in np.unique(partition_ids):
+        dists = pivot_distances[partition_ids == pid]
+        knn = tuple(np.sort(dists)[:k].tolist()) if k else ()
+        table.add(
+            PartitionStat(
+                partition_id=int(pid),
+                count=int(dists.size),
+                lower=float(dists.min()),
+                upper=float(dists.max()),
+                knn_distances=knn,
+            )
+        )
+    return table

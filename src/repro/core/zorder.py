@@ -1,0 +1,83 @@
+"""Z-order (Morton) curve utilities.
+
+Substrate for the approximate H-zkNNJ-style join (Zhang et al., EDBT 2012 —
+the competitor the paper cites and excludes as approximate, implemented here
+as an extension).  Points are scaled into a unit box, quantized to ``bits``
+levels per dimension, and their coordinate bits interleaved into a single
+integer whose ordering approximately preserves spatial proximity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZOrderTransform"]
+
+
+class ZOrderTransform:
+    """Maps points to z-values over a fixed bounding box.
+
+    Parameters
+    ----------
+    lo, hi:
+        Bounding box of the data (per-dimension).  Points outside are
+        clamped — callers shifting points (H-zkNNJ's random shifts) should
+        widen the box accordingly.
+    bits:
+        Quantization bits per dimension (z-values use ``bits * dims`` bits
+        total; Python ints make any width safe).
+    """
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, bits: int = 16) -> None:
+        self.lo = np.asarray(lo, dtype=np.float64)
+        self.hi = np.asarray(hi, dtype=np.float64)
+        if self.lo.shape != self.hi.shape or self.lo.ndim != 1:
+            raise ValueError("lo/hi must be 1-d and aligned")
+        if np.any(self.hi <= self.lo):
+            raise ValueError("degenerate bounding box")
+        if not 1 <= bits <= 32:
+            raise ValueError("bits must be in [1, 32]")
+        self.bits = bits
+
+    @classmethod
+    def for_points(
+        cls, points: np.ndarray, bits: int = 16, padding: float = 0.0
+    ) -> "ZOrderTransform":
+        """A transform covering the given points, optionally padded.
+
+        ``padding`` widens the box by that fraction of each dimension's span
+        (room for random shift vectors).
+        """
+        points = np.atleast_2d(points)
+        lo = points.min(axis=0)
+        hi = points.max(axis=0)
+        span = np.maximum(hi - lo, 1e-12)
+        return cls(lo - padding * span, hi + (padding + 1e-9) * span, bits=bits)
+
+    def quantize(self, points: np.ndarray) -> np.ndarray:
+        """Integer grid coordinates in ``[0, 2^bits)`` per dimension.
+
+        The box is divided into ``2^bits`` equal cells per dimension;
+        out-of-box points clamp to the border cells.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        scale = (2**self.bits) / (self.hi - self.lo)
+        cells = np.floor((points - self.lo) * scale)
+        return np.clip(cells, 0, 2**self.bits - 1).astype(np.int64)
+
+    def z_values(self, points: np.ndarray) -> list[int]:
+        """Morton codes of the given points (arbitrary-precision ints).
+
+        Bit ``b`` of dimension ``d`` lands at position ``b * dims + d`` —
+        the classic bit interleave, vectorised over objects per (bit, dim).
+        """
+        cells = self.quantize(points)
+        num_objects, dims = cells.shape
+        codes = [0] * num_objects
+        for bit in range(self.bits):
+            for dim in range(dims):
+                bit_values = (cells[:, dim] >> bit) & 1
+                shift = bit * dims + dim
+                for row in np.flatnonzero(bit_values):
+                    codes[row] |= 1 << shift
+        return codes

@@ -1,0 +1,16 @@
+"""Workload generators replacing the paper's datasets (see DESIGN.md §2)."""
+
+from .expansion import expand_dataset, frequency_sorted_values
+from .forest import FOREST_ATTRIBUTES, generate_forest
+from .osm import generate_osm
+from .synthetic import gaussian_mixture_dataset, uniform_dataset
+
+__all__ = [
+    "generate_forest",
+    "FOREST_ATTRIBUTES",
+    "expand_dataset",
+    "frequency_sorted_values",
+    "generate_osm",
+    "uniform_dataset",
+    "gaussian_mixture_dataset",
+]

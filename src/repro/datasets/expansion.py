@@ -1,0 +1,98 @@
+"""The paper's dataset-expansion procedure ("Forest x t", Section 6).
+
+To scale Covertype while keeping its value distribution, the paper generates
+new objects as follows (quoted steps):
+
+1. per dimension, compute the frequency of each distinct value and sort the
+   values ascending by frequency;
+2. for each object ``o``, a new object ``o_bar`` takes, in every dimension,
+   the value ranked *next* to ``o``'s value in that sorted list;
+3. for multiple copies, take the following values in the list, and "if o[i]
+   is the last value in the list for D_i, we keep this value constant".
+
+This module implements that procedure verbatim; ``expand_dataset(data, t)``
+returns the ``t``-times-larger dataset the scalability sweep (Figure 11)
+feeds to the joins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+
+__all__ = ["expand_dataset", "frequency_sorted_values"]
+
+
+def frequency_sorted_values(column: np.ndarray) -> tuple[np.ndarray, dict[float, int]]:
+    """Distinct values of a column sorted by ascending frequency.
+
+    Returns ``(sorted_values, rank_of_value)``.  Ties in frequency are broken
+    by value so the ordering is deterministic.
+    """
+    values, counts = np.unique(column, return_counts=True)
+    order = np.lexsort((values, counts))
+    sorted_values = values[order]
+    rank = {float(v): i for i, v in enumerate(sorted_values)}
+    return sorted_values, rank
+
+
+def expand_dataset(dataset: Dataset, times: int, name: str | None = None) -> Dataset:
+    """Grow a dataset to ``times`` its size with the paper's procedure.
+
+    The original objects are kept; ``times - 1`` shifted copies are appended.
+    New ids continue after the existing maximum id.
+    """
+    if times < 1:
+        raise ValueError("times must be >= 1")
+    if times == 1:
+        return dataset
+
+    num_objects, dims = dataset.points.shape
+    # per dimension: the frequency-sorted value list and the frequency rank of
+    # every object's value (vectorised: value-sorted index -> inverse perm)
+    per_dim: list[np.ndarray] = []
+    base_ranks = np.empty((num_objects, dims), dtype=np.int64)
+    for dim in range(dims):
+        column = dataset.points[:, dim]
+        values, counts = np.unique(column, return_counts=True)  # value-sorted
+        freq_order = np.lexsort((values, counts))
+        freq_sorted = values[freq_order]
+        rank_of_value_index = np.empty(freq_order.size, dtype=np.int64)
+        rank_of_value_index[freq_order] = np.arange(freq_order.size)
+        per_dim.append(freq_sorted)
+        base_ranks[:, dim] = rank_of_value_index[np.searchsorted(values, column)]
+
+    blocks = [dataset.points]
+    payload = dataset.payload_bytes
+    payload_blocks = [payload] if payload is not None else None
+    for copy in range(1, times):
+        shifted = np.empty_like(dataset.points)
+        for dim in range(dims):
+            freq_sorted = per_dim[dim]
+            # step `copy` positions ahead in frequency order; clamp at the
+            # list end ("keep this value constant")
+            ranks = np.minimum(base_ranks[:, dim] + copy, freq_sorted.size - 1)
+            shifted[:, dim] = freq_sorted[ranks]
+        blocks.append(shifted)
+        if payload_blocks is not None:
+            payload_blocks.append(payload)
+
+    next_id = int(dataset.ids.max()) + 1
+    new_ids = np.concatenate(
+        [dataset.ids]
+        + [
+            np.arange(
+                next_id + (copy - 1) * num_objects,
+                next_id + copy * num_objects,
+                dtype=np.int64,
+            )
+            for copy in range(1, times)
+        ]
+    )
+    return Dataset(
+        np.vstack(blocks),
+        ids=new_ids,
+        payload_bytes=None if payload_blocks is None else np.concatenate(payload_blocks),
+        name=name or f"{dataset.name}x{times}",
+    )

@@ -1,0 +1,6 @@
+"""Gorder substrate: the centralized grid-order kNN join (paper ref [17])."""
+
+from .join import GorderKnnJoin
+from .pca import PcaTransform
+
+__all__ = ["GorderKnnJoin", "PcaTransform"]

@@ -1,0 +1,5 @@
+"""iDistance substrate: pivot-mapped B+-tree kNN index (paper refs [9, 20])."""
+
+from .index import IDistanceIndex
+
+__all__ = ["IDistanceIndex"]

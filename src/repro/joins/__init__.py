@@ -1,0 +1,74 @@
+"""Distributed kNN join algorithms.
+
+* :class:`PGBJ` — the paper's contribution (Voronoi partitioning + grouping).
+* :class:`PBJ` — the pruning kernel inside the block framework (no grouping).
+* :class:`HBRJ` — the R-tree block-join baseline of Zhang et al.
+* :class:`BroadcastJoin` — the naive |R| + N*|S| broadcast strategy.
+
+All produce identical exact results; they differ in running time, computation
+selectivity and shuffling cost — the paper's three measurements, exposed on
+:class:`JoinOutcome`.
+"""
+
+from .base import (
+    BlockJoinConfig,
+    JoinConfig,
+    JoinOutcome,
+    KnnJoinAlgorithm,
+    PgbjConfig,
+)
+from .basic import BroadcastJoin
+from .closest_pairs import ClosestPairsOutcome, TopKClosestPairs
+from .hbrj import HBRJ
+from .ijoin import IJoinBlock
+from .pbj import PBJ
+from .pgbj import PGBJ
+from .range_selection import DistributedRangeSelection, RangeSelectionOutcome
+from .zorder import ZOrderConfig, ZOrderKnnJoin, recall_against
+
+__all__ = [
+    "JoinConfig",
+    "PgbjConfig",
+    "BlockJoinConfig",
+    "JoinOutcome",
+    "KnnJoinAlgorithm",
+    "PGBJ",
+    "PBJ",
+    "HBRJ",
+    "BroadcastJoin",
+    "IJoinBlock",
+    "ZOrderKnnJoin",
+    "ZOrderConfig",
+    "recall_against",
+    "DistributedRangeSelection",
+    "RangeSelectionOutcome",
+    "TopKClosestPairs",
+    "ClosestPairsOutcome",
+    "make_algorithm",
+]
+
+
+def make_algorithm(name: str, config: JoinConfig) -> KnnJoinAlgorithm:
+    """Instantiate an algorithm by report name, wrapping config as needed."""
+    name = name.lower()
+    if name == "pgbj":
+        if not isinstance(config, PgbjConfig):
+            raise TypeError("PGBJ requires a PgbjConfig")
+        return PGBJ(config)
+    if name == "pbj":
+        if not isinstance(config, BlockJoinConfig):
+            raise TypeError("PBJ requires a BlockJoinConfig")
+        return PBJ(config)
+    if name == "hbrj":
+        if not isinstance(config, BlockJoinConfig):
+            raise TypeError("H-BRJ requires a BlockJoinConfig")
+        return HBRJ(config)
+    if name == "broadcast":
+        return BroadcastJoin(config)
+    if name == "ijoin":
+        if not isinstance(config, BlockJoinConfig):
+            raise TypeError("iJoin requires a BlockJoinConfig")
+        return IJoinBlock(config)
+    raise ValueError(
+        f"unknown algorithm {name!r}; available: pgbj, pbj, hbrj, broadcast, ijoin"
+    )

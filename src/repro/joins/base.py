@@ -1,0 +1,190 @@
+"""Shared join-algorithm interface, configuration and outcome types.
+
+Every algorithm (PGBJ, PBJ, H-BRJ, broadcast) consumes two
+:class:`~repro.core.dataset.Dataset` objects and produces a
+:class:`JoinOutcome`: the exact join result plus the three measurements the
+paper's evaluation reports — running time (via the cluster model),
+computation selectivity (Equation 13) and shuffling cost.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.distance import Metric, get_metric
+from repro.core.result import KnnJoinResult
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.stats import JobStats
+
+__all__ = ["JoinConfig", "PgbjConfig", "BlockJoinConfig", "JoinOutcome", "KnnJoinAlgorithm"]
+
+#: counter group/name used by every task that computes object distances
+PAIRS_GROUP = "selectivity"
+PAIRS_NAME = "distance_pairs"
+REPLICA_GROUP = "shuffle"
+REPLICA_NAME = "s_replicas"
+
+
+@dataclass
+class JoinConfig:
+    """Parameters shared by all join algorithms.
+
+    ``num_reducers`` is ``N`` in the paper — the cluster runs one reduce task
+    per node, so this is also the modelled node count of the join job.
+    """
+
+    k: int = 10
+    num_reducers: int = 4
+    metric_name: str = "l2"
+    seed: int = 7
+    split_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")
+        if self.split_size < 1:
+            raise ValueError("split_size must be >= 1")
+
+    def with_changes(self, **kwargs) -> "JoinConfig":
+        """A copy with some fields replaced (sweep helper)."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class PgbjConfig(JoinConfig):
+    """PGBJ-specific knobs (paper defaults: 4000 random pivots, geometric).
+
+    ``num_pivots`` scales with data size in the benches; the paper's best
+    setting is |P| = 4000 on 5.8M objects (RGE strategy).
+    """
+
+    num_pivots: int = 64
+    pivot_selection: str = "random"
+    grouping: str = "geometric"
+    pivot_sample_size: int = 8192
+    random_candidate_sets: int = 5
+    kmeans_iterations: int = 8
+    #: disable individual pruning rules (ablation benches)
+    use_hyperplane_pruning: bool = True
+    use_ring_pruning: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.num_pivots < 1:
+            raise ValueError("num_pivots must be >= 1")
+
+
+@dataclass
+class BlockJoinConfig(JoinConfig):
+    """Configuration for the block-framework algorithms (H-BRJ, PBJ).
+
+    Both split R and S into ``sqrt(N)`` random subsets and run one reducer
+    per block pair; ``rtree_capacity`` only matters for H-BRJ; ``num_pivots``
+    and pivot options only for PBJ (which runs the partitioning job first).
+    """
+
+    rtree_capacity: int = 32
+    num_pivots: int = 64
+    pivot_selection: str = "random"
+    pivot_sample_size: int = 8192
+    random_candidate_sets: int = 5
+
+    @property
+    def num_blocks(self) -> int:
+        """``sqrt(N)`` subsets per dataset, as in the paper's Section 3."""
+        return max(1, int(np.sqrt(self.num_reducers)))
+
+
+@dataclass
+class JoinOutcome:
+    """A completed join with the paper's three measurements attached."""
+
+    algorithm: str
+    result: KnnJoinResult
+    r_size: int
+    s_size: int
+    k: int
+    master_phases: dict[str, float] = field(default_factory=dict)
+    job_stats: list[JobStats] = field(default_factory=list)
+    job_phase_names: list[str] = field(default_factory=list)
+    counters: Counters = field(default_factory=Counters)
+    master_distance_pairs: int = 0
+
+    # -- the three headline measurements ----------------------------------------
+
+    @property
+    def distance_pairs(self) -> int:
+        """All object pairs computed, master preprocessing included."""
+        return self.master_distance_pairs + self.counters.value(PAIRS_GROUP, PAIRS_NAME)
+
+    def selectivity(self) -> float:
+        """Equation 13: computed pairs over |R| x |S| (pivots included)."""
+        return self.distance_pairs / (self.r_size * self.s_size)
+
+    def shuffle_bytes(self) -> int:
+        """Total mapper-to-reducer bytes across all jobs."""
+        return sum(stats.shuffle_bytes for stats in self.job_stats)
+
+    def shuffle_records(self) -> int:
+        """Total shuffled records across all jobs."""
+        return sum(stats.shuffle_records for stats in self.job_stats)
+
+    def replication_of_s(self) -> int:
+        """How many S-object records entered the shuffle (``RP(S)``)."""
+        return self.counters.value(REPLICA_GROUP, REPLICA_NAME)
+
+    def avg_replication_of_s(self) -> float:
+        """``alpha``: average replicas per S object (paper Figure 7b)."""
+        return self.replication_of_s() / self.s_size if self.s_size else 0.0
+
+    def simulated_seconds(self, cluster: Cluster) -> float:
+        """Modelled wall-clock: master phases + each job on the cluster."""
+        total = sum(self.master_phases.values())
+        total += sum(stats.simulated_seconds(cluster) for stats in self.job_stats)
+        return total
+
+    def phase_seconds(self, cluster: Cluster) -> dict[str, float]:
+        """Per-phase breakdown in Figure 6's vocabulary."""
+        phases = dict(self.master_phases)
+        for name, stats in zip(self.job_phase_names, self.job_stats):
+            phases[name] = phases.get(name, 0.0) + stats.simulated_seconds(cluster)
+        return phases
+
+
+class KnnJoinAlgorithm(ABC):
+    """A distributed kNN join algorithm."""
+
+    #: identifier used in reports ("pgbj", "pbj", "hbrj", "broadcast")
+    name: str = "abstract"
+
+    def __init__(self, config: JoinConfig) -> None:
+        self.config = config
+
+    @abstractmethod
+    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
+        """Execute the join of ``r`` against ``s``."""
+
+    def _master_metric(self) -> Metric:
+        """Fresh counted metric for master-side (preprocessing) phases."""
+        return get_metric(self.config.metric_name)
+
+    @staticmethod
+    def _check_inputs(r: Dataset, s: Dataset, k: int) -> None:
+        if len(r) == 0 or len(s) == 0:
+            raise ValueError("kNN join requires non-empty R and S")
+        if r.dimensions != s.dimensions:
+            raise ValueError(
+                f"dimension mismatch: R has {r.dimensions}, S has {s.dimensions}"
+            )
+        if k > len(s):
+            raise ValueError(
+                f"k={k} exceeds |S|={len(s)}; the paper assumes k <= |S| "
+                "(otherwise the join degrades to a cross join)"
+            )

@@ -1,0 +1,131 @@
+"""The sqrt(N) x sqrt(N) block framework shared by H-BRJ and PBJ.
+
+Paper Section 3: both baselines split ``R`` and ``S`` into ``sqrt(N)`` random
+equal-sized subsets; reducer ``(i, j)`` joins block pair ``(R_i, S_j)``; a
+second MapReduce job merges, per ``r``, the ``sqrt(N)`` partial candidate
+lists into the final k.  Every object of either dataset is therefore
+replicated ``sqrt(N)`` times, giving the framework's
+``sqrt(N) * (|R| + |S|) + sum |R_i x S_j|`` shuffling cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.knn import KBestList
+from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
+from repro.mapreduce.partitioners import HashPartitioner, ModPartitioner
+from repro.mapreduce.runtime import JobResult, LocalRuntime
+from repro.mapreduce.splits import split_records
+
+from .base import REPLICA_GROUP, REPLICA_NAME, JoinConfig
+
+__all__ = [
+    "block_of",
+    "BlockRoutingMapper",
+    "CandidateMergeMapper",
+    "CandidateMergeReducer",
+    "run_merge_job",
+]
+
+
+def block_of(object_id: int, num_blocks: int) -> int:
+    """Deterministic near-uniform block assignment (Knuth multiplicative)."""
+    return ((object_id * 2654435761) & 0xFFFFFFFF) % num_blocks
+
+
+class BlockRoutingMapper(Mapper):
+    """Routes each object to its row (R) or column (S) of block reducers.
+
+    Key encoding: reducer ``(i, j)`` is the integer ``i * B + j``, so a
+    modulo partitioner keeps the one-pair-per-reducer layout.
+    """
+
+    def setup(self, ctx: Context) -> None:
+        self._num_blocks = int(ctx.cache["num_blocks"])
+
+    def map(self, key, value, ctx: Context):
+        record = value
+        num_blocks = self._num_blocks
+        own = block_of(record.object_id, num_blocks)
+        if record.is_from_r():
+            for j in range(num_blocks):
+                yield own * num_blocks + j, record
+        else:
+            ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME, num_blocks)
+            for i in range(num_blocks):
+                yield i * num_blocks + own, record
+
+
+class CandidateMergeMapper(Mapper):
+    """Identity mapper of the merge job: candidates are already r-keyed."""
+
+    def map(self, key, value, ctx: Context):
+        yield key, value
+
+
+class CandidateMergeReducer(Reducer):
+    """Keeps the k best of the per-block candidate lists for one r.
+
+    Candidates are deduplicated by object id before ranking: block pairs
+    never overlap (H-BRJ/PBJ), but overlapping candidate sources — e.g. the
+    z-order join's shifted curves — may report the same neighbor twice, and
+    a duplicate must not consume two of the k slots.
+    """
+
+    def setup(self, ctx: Context) -> None:
+        self._k = int(ctx.cache["k"])
+
+    def reduce(self, key, values, ctx: Context):
+        best_of: dict[int, float] = {}
+        for ids, dists in values:
+            for object_id, dist in zip(ids.tolist(), dists.tolist()):
+                previous = best_of.get(object_id)
+                if previous is None or dist < previous:
+                    best_of[object_id] = dist
+        kbest = KBestList(self._k)
+        kbest.update(
+            np.fromiter(best_of.values(), dtype=np.float64, count=len(best_of)),
+            np.fromiter(best_of.keys(), dtype=np.int64, count=len(best_of)),
+        )
+        ids, dists = kbest.as_arrays()
+        yield key, (ids, dists)
+
+
+def run_merge_job(
+    candidates: list, config: JoinConfig, runtime: LocalRuntime
+) -> JobResult:
+    """Second job of the block framework: merge partial candidate lists.
+
+    ``candidates`` is the first job's output — ``(r_id, (ids, dists))`` pairs
+    — whose records make up this job's (counted) shuffle traffic, matching
+    the ``sum |R_i knn-join S_j|`` term of the paper's cost analysis.
+    """
+    job = MapReduceJob(
+        name="merge-candidates",
+        mapper_factory=CandidateMergeMapper,
+        reducer_factory=CandidateMergeReducer,
+        partitioner=HashPartitioner(),
+        num_reducers=config.num_reducers,
+        cache={"k": config.k},
+    )
+    return runtime.run(job, split_records(candidates, config.split_size))
+
+
+def block_join_spec(
+    name: str,
+    reducer_factory,
+    num_blocks: int,
+    cache: dict,
+) -> MapReduceJob:
+    """Job spec for the first (block join) job of the framework."""
+    cache = dict(cache)
+    cache["num_blocks"] = num_blocks
+    return MapReduceJob(
+        name=name,
+        mapper_factory=BlockRoutingMapper,
+        reducer_factory=reducer_factory,
+        partitioner=ModPartitioner(),
+        num_reducers=num_blocks * num_blocks,
+        cache=cache,
+    )

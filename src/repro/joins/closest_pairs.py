@@ -1,0 +1,189 @@
+"""Top-k closest pairs in MapReduce (paper ref [11], Kim & Shim, ICDE 2012).
+
+The paper's related work singles out the *parallel top-k similarity join* —
+"extract k closest object pairs from two input datasets" — as the special
+case of the kNN join.  This operator implements it on the same substrate:
+
+1. both datasets are pivot-partitioned (first job, shared with PGBJ/PBJ);
+2. block reducers compute their local kNN join with the Algorithm 3 kernel
+   and emit only their k *globally smallest* candidate pairs — any global
+   top-k pair (r, s) meets in exactly one block and there appears among r's
+   local k nearest, so the union of local top-k lists covers the answer;
+3. a single-reducer merge job keeps the k smallest pairs overall.
+
+Self-joins may exclude the trivial zero-distance identity pairs via
+``exclude_self``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.distance import get_metric
+from repro.core.partition import VoronoiPartitioner
+from repro.mapreduce.job import Context, MapReduceJob, Mapper, Reducer
+from repro.mapreduce.partitioners import ModPartitioner
+from repro.mapreduce.runtime import LocalRuntime
+from repro.mapreduce.splits import split_records
+
+from .base import PAIRS_GROUP, PAIRS_NAME, BlockJoinConfig
+from .block_framework import block_join_spec
+from .kernels import (
+    build_r_blocks,
+    build_s_blocks,
+    knn_join_kernel,
+    local_ring_stats,
+    local_theta,
+)
+from .partition_job import run_partitioning_job
+from .pbj import _pivot_view
+from .pgbj import make_pivot_selector
+
+__all__ = ["TopKClosestPairs", "ClosestPairsOutcome"]
+
+
+class ClosestPairsBlockReducer(Reducer):
+    """Local kNN join, then keep the block's k smallest (r, s) pairs."""
+
+    def setup(self, ctx: Context) -> None:
+        self._metric = get_metric(ctx.cache["metric_name"])
+        self._k = int(ctx.cache["k"])
+        self._pivots: np.ndarray = ctx.cache["pivots"]
+        self._pdm: np.ndarray = ctx.cache["pivot_dist_matrix"]
+        self._exclude_self = bool(ctx.cache["exclude_self"])
+
+    def reduce(self, key, values, ctx: Context):
+        r_blocks = build_r_blocks(rec for rec in values if rec.is_from_r())
+        s_blocks = build_s_blocks(rec for rec in values if not rec.is_from_r())
+        if not r_blocks or not s_blocks:
+            return
+        ring_stats = local_ring_stats(s_blocks)
+        thetas = {
+            pid: local_theta(block.local_upper(), self._pdm[pid], s_blocks, self._k)
+            for pid, block in r_blocks.items()
+        }
+        # max-heap (negated) of the k smallest pairs seen in this block
+        heap: list[tuple[float, int, int]] = []
+        for r_id, ids, dists in knn_join_kernel(
+            self._metric, self._k, r_blocks, s_blocks, thetas, ring_stats,
+            self._pivots, self._pdm,
+        ):
+            for s_id, dist in zip(ids.tolist(), dists.tolist()):
+                if self._exclude_self and s_id == r_id:
+                    continue
+                entry = (-dist, r_id, s_id)
+                if len(heap) < self._k:
+                    heapq.heappush(heap, entry)
+                elif entry > heap[0]:  # smaller distance than the worst kept
+                    heapq.heapreplace(heap, entry)
+        for neg_dist, r_id, s_id in heap:
+            yield 0, (r_id, s_id, -neg_dist)
+
+    def cleanup(self, ctx: Context):
+        ctx.counters.incr(PAIRS_GROUP, PAIRS_NAME, self._metric.pairs_computed)
+        return ()
+
+
+class PairMergeMapper(Mapper):
+    """Identity; all candidate pairs flow to the single merge reducer."""
+
+    def map(self, key, value, ctx: Context):
+        yield 0, value
+
+
+class PairMergeReducer(Reducer):
+    """Global k smallest pairs, ties broken by (distance, r_id, s_id)."""
+
+    def setup(self, ctx: Context) -> None:
+        self._k = int(ctx.cache["k"])
+
+    def reduce(self, key, values, ctx: Context):
+        ranked = sorted(values, key=lambda pair: (pair[2], pair[0], pair[1]))
+        for r_id, s_id, dist in ranked[: self._k]:
+            yield (r_id, s_id), dist
+
+
+class ClosestPairsOutcome:
+    """The top-k pairs plus the run's measurements."""
+
+    def __init__(self, pairs, distance_pairs, shuffle_bytes, r_size, s_size) -> None:
+        #: list of ``(r_id, s_id, distance)`` ascending by distance
+        self.pairs = pairs
+        self.distance_pairs = distance_pairs
+        self.shuffle_bytes = shuffle_bytes
+        self._r_size = r_size
+        self._s_size = s_size
+
+    def selectivity(self) -> float:
+        """Computed pairs over |R| x |S|."""
+        return self.distance_pairs / (self._r_size * self._s_size)
+
+
+class TopKClosestPairs:
+    """Distributed top-k closest-pairs operator."""
+
+    def __init__(self, config: BlockJoinConfig, exclude_self: bool = False) -> None:
+        self.config = config
+        self.exclude_self = exclude_self
+
+    def run(self, r: Dataset, s: Dataset) -> ClosestPairsOutcome:
+        """The k closest (r, s) pairs across the full cross product."""
+        config = self.config
+        if config.k > len(r) * len(s):
+            raise ValueError("k exceeds |R| x |S|")
+        rng = np.random.default_rng(config.seed)
+        master_metric = get_metric(config.metric_name)
+        runtime = LocalRuntime()
+
+        selector = make_pivot_selector(_pivot_view(config))
+        pivots = selector.select(
+            r, min(config.num_pivots, len(r)), master_metric, rng
+        )
+        job1 = run_partitioning_job(r, s, pivots, config, runtime)
+        pdm = VoronoiPartitioner(pivots, master_metric).pivot_distance_matrix()
+
+        # Coverage: a global top-k pair (r, s) appears among r's local k
+        # nearest in its block (fewer than k better pairs exist anywhere).
+        # Excluding identity pairs costs one slot per r, hence k + 1.
+        kernel_k = min(config.k + (1 if self.exclude_self else 0), len(s))
+        job2_spec = block_join_spec(
+            name="closest-pairs-block",
+            reducer_factory=ClosestPairsBlockReducer,
+            num_blocks=config.num_blocks,
+            cache={
+                "metric_name": config.metric_name,
+                "k": kernel_k,
+                "pivots": pivots,
+                "pivot_dist_matrix": pdm,
+                "exclude_self": self.exclude_self,
+            },
+        )
+        job2 = runtime.run(job2_spec, split_records(job1.outputs, config.split_size))
+
+        merge_spec = MapReduceJob(
+            name="closest-pairs-merge",
+            mapper_factory=PairMergeMapper,
+            reducer_factory=PairMergeReducer,
+            partitioner=ModPartitioner(),
+            num_reducers=1,
+            cache={"k": config.k},
+        )
+        job3 = runtime.run(merge_spec, split_records(job2.outputs, config.split_size))
+
+        pairs = [
+            (int(r_id), int(s_id), float(dist))
+            for (r_id, s_id), dist in job3.outputs
+        ]
+        distance_pairs = master_metric.pairs_computed
+        for job in (job1, job2, job3):
+            distance_pairs += job.counters.value(PAIRS_GROUP, PAIRS_NAME)
+        return ClosestPairsOutcome(
+            pairs=pairs,
+            distance_pairs=distance_pairs,
+            shuffle_bytes=job2.stats.shuffle_bytes + job3.stats.shuffle_bytes,
+            r_size=len(r),
+            s_size=len(s),
+        )

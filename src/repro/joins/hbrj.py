@@ -1,0 +1,104 @@
+"""H-BRJ: the R-tree block-join baseline (Zhang et al., EDBT 2012).
+
+Paper Section 3/6: R and S are split into ``sqrt(N)`` random subsets; each
+reducer bulk-loads an R-tree over its block of S and answers the kNN of each
+received r by best-first traversal ("maintaining candidate objects as well as
+intermediate nodes in a priority queue"); a second job merges the per-block
+candidates.  No pivots, no partitioning job — but also no cross-reducer
+pruning, which is why its selectivity and shuffle grow with k, dimensionality
+and node count in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.distance import get_metric
+from repro.core.result import KnnJoinResult
+from repro.mapreduce.job import Context, Reducer
+from repro.mapreduce.runtime import LocalRuntime
+from repro.mapreduce.splits import dataset_splits
+from repro.rtree import RTree
+
+from .base import (
+    PAIRS_GROUP,
+    PAIRS_NAME,
+    BlockJoinConfig,
+    JoinOutcome,
+    KnnJoinAlgorithm,
+)
+from .block_framework import block_join_spec, run_merge_job
+
+__all__ = ["HBRJ"]
+
+
+class HbrjJoinReducer(Reducer):
+    """Builds an R-tree over the S block, then answers each r's kNN query."""
+
+    def setup(self, ctx: Context) -> None:
+        self._metric = get_metric(ctx.cache["metric_name"])
+        self._k = int(ctx.cache["k"])
+        self._capacity = int(ctx.cache["rtree_capacity"])
+
+    def reduce(self, key, values, ctx: Context):
+        r_records = [rec for rec in values if rec.is_from_r()]
+        s_records = [rec for rec in values if not rec.is_from_r()]
+        if not r_records or not s_records:
+            return
+        s_points = np.array([rec.point for rec in s_records], dtype=np.float64)
+        s_ids = np.array([rec.object_id for rec in s_records], dtype=np.int64)
+        tree = RTree.bulk_load(s_points, s_ids, self._metric, self._capacity)
+        for record in r_records:
+            ids, dists = tree.knn(record.point, self._k)
+            yield record.object_id, (ids, dists)
+
+    def cleanup(self, ctx: Context):
+        ctx.counters.incr(PAIRS_GROUP, PAIRS_NAME, self._metric.pairs_computed)
+        return ()
+
+
+class HBRJ(KnnJoinAlgorithm):
+    """The comparison baseline of the paper's evaluation."""
+
+    name = "hbrj"
+
+    def __init__(self, config: BlockJoinConfig) -> None:
+        super().__init__(config)
+        self.config: BlockJoinConfig = config
+
+    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
+        config = self.config
+        self._check_inputs(r, s, config.k)
+        runtime = LocalRuntime()
+
+        job1_spec = block_join_spec(
+            name="hbrj-block-join",
+            reducer_factory=HbrjJoinReducer,
+            num_blocks=config.num_blocks,
+            cache={
+                "metric_name": config.metric_name,
+                "k": config.k,
+                "rtree_capacity": config.rtree_capacity,
+            },
+        )
+        job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
+        job2 = run_merge_job(job1.outputs, config, runtime)
+
+        result = KnnJoinResult(config.k)
+        for r_id, (ids, dists) in job2.outputs:
+            result.add(r_id, ids, dists)
+        outcome = JoinOutcome(
+            algorithm=self.name,
+            result=result,
+            r_size=len(r),
+            s_size=len(s),
+            k=config.k,
+            master_phases={},
+            job_stats=[job1.stats, job2.stats],
+            job_phase_names=["knn_join", "merge"],
+            master_distance_pairs=0,
+        )
+        outcome.counters.merge(job1.counters)
+        outcome.counters.merge(job2.counters)
+        return outcome

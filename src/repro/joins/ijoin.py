@@ -1,0 +1,114 @@
+"""iJoin-style baseline: the block framework with an iDistance reducer index.
+
+The paper's related work (Yu et al. [19]) answers kNN joins centrally with a
+B+-tree/iDistance index per partition.  This baseline drops that kernel into
+the same sqrt(N) x sqrt(N) MapReduce block framework H-BRJ uses: each reducer
+builds an :class:`~repro.idistance.IDistanceIndex` over its block of S
+(pivots sampled from the block) and answers each received r by expanding
+ring search; the standard merge job combines the per-block candidates.
+
+Together with H-BRJ (R-tree) and PBJ (summary-bound kernel) this completes a
+three-way comparison of reducer-side index structures on identical shuffles
+(`benchmarks/bench_ext_reducer_index.py`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.distance import get_metric
+from repro.core.result import KnnJoinResult
+from repro.idistance import IDistanceIndex
+from repro.mapreduce.job import Context, Reducer
+from repro.mapreduce.runtime import LocalRuntime
+from repro.mapreduce.splits import dataset_splits
+
+from .base import (
+    PAIRS_GROUP,
+    PAIRS_NAME,
+    BlockJoinConfig,
+    JoinOutcome,
+    KnnJoinAlgorithm,
+)
+from .block_framework import block_join_spec, run_merge_job
+
+__all__ = ["IJoinBlock"]
+
+
+class IJoinBlockReducer(Reducer):
+    """Builds an iDistance index over the S block; ring-searches each r."""
+
+    def setup(self, ctx: Context) -> None:
+        self._metric = get_metric(ctx.cache["metric_name"])
+        self._k = int(ctx.cache["k"])
+        self._num_pivots = int(ctx.cache["index_pivots"])
+        self._seed = int(ctx.cache["seed"])
+
+    def reduce(self, key, values, ctx: Context):
+        r_records = [rec for rec in values if rec.is_from_r()]
+        s_records = [rec for rec in values if not rec.is_from_r()]
+        if not r_records or not s_records:
+            return
+        s_points = np.array([rec.point for rec in s_records], dtype=np.float64)
+        s_ids = np.array([rec.object_id for rec in s_records], dtype=np.int64)
+        rng = np.random.default_rng(self._seed + int(key))
+        num_pivots = min(self._num_pivots, s_points.shape[0])
+        pivot_rows = rng.choice(s_points.shape[0], size=num_pivots, replace=False)
+        index = IDistanceIndex(s_points, s_ids, s_points[pivot_rows], self._metric)
+        for record in r_records:
+            ids, dists = index.knn(record.point, self._k)
+            yield record.object_id, (ids, dists)
+
+    def cleanup(self, ctx: Context):
+        ctx.counters.incr(PAIRS_GROUP, PAIRS_NAME, self._metric.pairs_computed)
+        return ()
+
+
+class IJoinBlock(KnnJoinAlgorithm):
+    """H-BRJ's framework with iDistance in place of the R-tree."""
+
+    name = "ijoin"
+
+    def __init__(self, config: BlockJoinConfig) -> None:
+        super().__init__(config)
+        self.config: BlockJoinConfig = config
+
+    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
+        config = self.config
+        self._check_inputs(r, s, config.k)
+        runtime = LocalRuntime()
+
+        job1_spec = block_join_spec(
+            name="ijoin-block-join",
+            reducer_factory=IJoinBlockReducer,
+            num_blocks=config.num_blocks,
+            cache={
+                "metric_name": config.metric_name,
+                "k": config.k,
+                # a handful of reference points per block, like iDistance's
+                # "sampling-based" reference selection
+                "index_pivots": max(4, config.num_pivots // max(config.num_blocks, 1)),
+                "seed": config.seed,
+            },
+        )
+        job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
+        job2 = run_merge_job(job1.outputs, config, runtime)
+
+        result = KnnJoinResult(config.k)
+        for r_id, (ids, dists) in job2.outputs:
+            result.add(r_id, ids, dists)
+        outcome = JoinOutcome(
+            algorithm=self.name,
+            result=result,
+            r_size=len(r),
+            s_size=len(s),
+            k=config.k,
+            master_phases={},
+            job_stats=[job1.stats, job2.stats],
+            job_phase_names=["knn_join", "merge"],
+            master_distance_pairs=0,
+        )
+        outcome.counters.merge(job1.counters)
+        outcome.counters.merge(job2.counters)
+        return outcome

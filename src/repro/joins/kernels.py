@@ -1,0 +1,219 @@
+"""Reducer-side kNN kernels (paper Algorithm 3, lines 12-25).
+
+The kernel answers, inside one reducer, the kNN of every ``r`` it received
+against the S objects it received, using the paper's three pruning levels:
+
+1. scan candidate S-partitions in ascending pivot-distance order, so good
+   candidates appear early and ``theta`` tightens fast (line 14);
+2. skip a whole partition when the generalized hyperplane lies beyond
+   ``theta`` (Corollary 1, line 19);
+3. within a partition, examine only the objects whose pivot distance falls in
+   the Theorem 2 ring — a contiguous slice of the distance-sorted block
+   (lines 21-22).
+
+The same kernel serves PGBJ (bounds from the global summary tables) and PBJ
+(bounds recomputed locally over the reducer's random block of S, which is why
+PBJ's bounds are looser — the paper's stated reason PBJ trails PGBJ).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distance import Metric
+from repro.core.geometry import PRUNE_EPS, partition_pruned_by_hyperplane, ring_slice
+from repro.core.knn import KBestList
+from repro.mapreduce.types import ObjectRecord
+
+__all__ = [
+    "RPartitionBlock",
+    "SPartitionBlock",
+    "build_r_blocks",
+    "build_s_blocks",
+    "local_ring_stats",
+    "local_theta",
+    "knn_join_kernel",
+]
+
+
+@dataclass
+class RPartitionBlock:
+    """The R objects of one Voronoi cell present in a reducer."""
+
+    partition_id: int
+    ids: np.ndarray
+    points: np.ndarray
+    pivot_dists: np.ndarray
+
+    def local_upper(self) -> float:
+        """Local ``U``: max pivot distance among the present objects."""
+        return float(self.pivot_dists.max())
+
+
+@dataclass
+class SPartitionBlock:
+    """The S objects of one Voronoi cell present in a reducer.
+
+    Arrays are sorted ascending by pivot distance (ties by id), so Theorem 2
+    rings become contiguous slices.
+    """
+
+    partition_id: int
+    ids: np.ndarray
+    points: np.ndarray
+    pivot_dists: np.ndarray
+
+    def __len__(self) -> int:
+        return self.ids.shape[0]
+
+
+def build_r_blocks(records: Iterable[ObjectRecord]) -> dict[int, RPartitionBlock]:
+    """Group a reducer's R records by Voronoi cell."""
+    grouped: dict[int, list[ObjectRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.partition_id, []).append(record)
+    blocks: dict[int, RPartitionBlock] = {}
+    for pid, group in grouped.items():
+        blocks[pid] = RPartitionBlock(
+            partition_id=pid,
+            ids=np.array([rec.object_id for rec in group], dtype=np.int64),
+            points=np.array([rec.point for rec in group], dtype=np.float64),
+            pivot_dists=np.array([rec.pivot_distance for rec in group], dtype=np.float64),
+        )
+    return blocks
+
+
+def build_s_blocks(records: Iterable[ObjectRecord]) -> dict[int, SPartitionBlock]:
+    """Group a reducer's S records by cell, sorted by pivot distance."""
+    grouped: dict[int, list[ObjectRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.partition_id, []).append(record)
+    blocks: dict[int, SPartitionBlock] = {}
+    for pid, group in grouped.items():
+        ids = np.array([rec.object_id for rec in group], dtype=np.int64)
+        points = np.array([rec.point for rec in group], dtype=np.float64)
+        dists = np.array([rec.pivot_distance for rec in group], dtype=np.float64)
+        order = np.lexsort((ids, dists))
+        blocks[pid] = SPartitionBlock(
+            partition_id=pid, ids=ids[order], points=points[order], pivot_dists=dists[order]
+        )
+    return blocks
+
+
+def local_ring_stats(s_blocks: dict[int, SPartitionBlock]) -> dict[int, tuple[float, float]]:
+    """Per-cell ``(L, U)`` over the objects actually present (PBJ bounds)."""
+    return {
+        pid: (float(block.pivot_dists[0]), float(block.pivot_dists[-1]))
+        for pid, block in s_blocks.items()
+    }
+
+
+def local_theta(
+    u_ri: float,
+    pdm_row: np.ndarray,
+    s_blocks: dict[int, SPartitionBlock],
+    k: int,
+) -> float:
+    """Algorithm 1 evaluated over a reducer's local S blocks.
+
+    Used by PBJ, whose reducers see only a random ``1/sqrt(N)`` slice of S:
+    the theta bound must be recomputed from what is present.  Returns ``inf``
+    when the local blocks hold fewer than k objects (the merge job resolves
+    such partial candidate lists).
+    """
+    heap: list[float] = []  # max-heap (negated) of the k smallest upper bounds
+    for pid, block in s_blocks.items():
+        base = u_ri + float(pdm_row[pid])
+        for dist_s_pj in block.pivot_dists[: min(k, len(block))]:
+            ub = base + float(dist_s_pj)
+            if len(heap) < k:
+                heapq.heappush(heap, -ub)
+            elif ub < -heap[0]:
+                heapq.heapreplace(heap, -ub)
+            else:
+                break
+    if len(heap) < k:
+        return float("inf")
+    return -heap[0]
+
+
+def knn_join_kernel(
+    metric: Metric,
+    k: int,
+    r_blocks: dict[int, RPartitionBlock],
+    s_blocks: dict[int, SPartitionBlock],
+    thetas: dict[int, float],
+    ring_stats: dict[int, tuple[float, float]],
+    pivot_points: np.ndarray,
+    pivot_dist_matrix: np.ndarray,
+    use_hyperplane_pruning: bool = True,
+    use_ring_pruning: bool = True,
+) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+    """Run Algorithm 3's reduce phase; yields ``(r_id, neighbor_ids, dists)``.
+
+    Parameters
+    ----------
+    thetas:
+        ``theta_i`` per R-partition (Equation 6); ``inf`` disables the initial
+        radius (PBJ blocks smaller than k).
+    ring_stats:
+        ``(L, U)`` per S-partition for Theorem 2 — global table values for
+        PGBJ, local block extremes for PBJ.
+    pivot_points, pivot_dist_matrix:
+        Pivot coordinates and the ``|p_i, p_j|`` matrix.
+    use_hyperplane_pruning, use_ring_pruning:
+        Ablation switches (both on reproduces the paper).
+    """
+    if not s_blocks:
+        raise ValueError("reducer received R objects but no S objects")
+    present = sorted(s_blocks)
+    present_points = pivot_points[present]
+    # Equation 3 is exact only in Euclidean space; other metrics fall back to
+    # the generic GH bound inside hyperplane_distance
+    euclidean = metric.name == "l2"
+
+    for pid_r in sorted(r_blocks):
+        r_block = r_blocks[pid_r]
+        theta_i = thetas[pid_r]
+        pdm_row = pivot_dist_matrix[pid_r]
+        # line 14: scan S-partitions in ascending |p_i, p_jl| order
+        order = sorted(range(len(present)), key=lambda idx: pdm_row[present[idx]])
+        # |r, p_j| for every r of the cell and every present S pivot — these
+        # are object-pivot pairs and count toward selectivity (Equation 13)
+        dr_to_pivots = metric.cross_distances(r_block.points, present_points)
+
+        for row in range(r_block.ids.shape[0]):
+            kbest = KBestList(k)
+            theta = theta_i
+            dist_r_own = float(r_block.pivot_dists[row])
+            for idx in order:
+                pid_s = present[idx]
+                dist_r_pj = float(dr_to_pivots[row, idx])
+                if (
+                    use_hyperplane_pruning
+                    and pid_s != pid_r
+                    and partition_pruned_by_hyperplane(
+                        dist_r_own, dist_r_pj, float(pdm_row[pid_s]), theta, euclidean
+                    )
+                ):
+                    continue  # Corollary 1 discards the whole cell
+                block = s_blocks[pid_s]
+                if use_ring_pruning and np.isfinite(theta):
+                    lower, upper = ring_stats[pid_s]
+                    start, stop = ring_slice(
+                        block.pivot_dists, lower, upper, dist_r_pj, theta
+                    )
+                else:
+                    start, stop = 0, len(block)
+                if start >= stop:
+                    continue
+                dists = metric.distances(r_block.points[row], block.points[start:stop])
+                kbest.update(dists, block.ids[start:stop])
+                if kbest.is_full():
+                    theta = min(theta, kbest.theta + PRUNE_EPS)
+            neighbor_ids, neighbor_dists = kbest.as_arrays()
+            yield int(r_block.ids[row]), neighbor_ids, neighbor_dists

@@ -1,0 +1,167 @@
+"""PBJ: the paper's pruning kernel inside the block framework.
+
+Paper Section 6: "the only difference between PBJ and PGBJ is that PBJ does
+not have the grouping part.  Instead, it employs the same framework used in
+H-BRJ" — R and S are split into ``sqrt(N)`` random subsets, each reducer
+joins one block pair, and a second job merges the partial results.
+
+PBJ still runs pivot selection and the partitioning job, so every object
+arrives in a reducer annotated with its Voronoi cell and pivot distance; the
+reducer recomputes the theta bound and the ring statistics *locally* over the
+random slice of S it received.  That randomness makes the local bounds loose
+— the paper's stated reason PBJ sits between H-BRJ and PGBJ.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.distance import get_metric
+from repro.core.partition import VoronoiPartitioner
+from repro.core.result import KnnJoinResult
+from repro.mapreduce.job import Context, Reducer
+from repro.mapreduce.runtime import LocalRuntime
+from repro.mapreduce.splits import split_records
+
+from .base import (
+    PAIRS_GROUP,
+    PAIRS_NAME,
+    BlockJoinConfig,
+    JoinOutcome,
+    KnnJoinAlgorithm,
+)
+from .block_framework import block_join_spec, run_merge_job
+from .kernels import (
+    build_r_blocks,
+    build_s_blocks,
+    knn_join_kernel,
+    local_ring_stats,
+    local_theta,
+)
+from .partition_job import run_partitioning_job
+from .pgbj import make_pivot_selector
+
+__all__ = ["PBJ"]
+
+
+class PbjJoinReducer(Reducer):
+    """Joins one (R_i, S_j) block pair with locally recomputed bounds."""
+
+    def setup(self, ctx: Context) -> None:
+        self._metric = get_metric(ctx.cache["metric_name"])
+        self._k = int(ctx.cache["k"])
+        self._pivots: np.ndarray = ctx.cache["pivots"]
+        self._pdm: np.ndarray = ctx.cache["pivot_dist_matrix"]
+
+    def reduce(self, key, values, ctx: Context):
+        r_blocks = build_r_blocks(rec for rec in values if rec.is_from_r())
+        s_blocks = build_s_blocks(rec for rec in values if not rec.is_from_r())
+        if not r_blocks or not s_blocks:
+            return  # lone half of a pair: other block columns cover these r
+        ring_stats = local_ring_stats(s_blocks)
+        thetas = {
+            pid: local_theta(block.local_upper(), self._pdm[pid], s_blocks, self._k)
+            for pid, block in r_blocks.items()
+        }
+        for r_id, ids, dists in knn_join_kernel(
+            self._metric,
+            self._k,
+            r_blocks,
+            s_blocks,
+            thetas,
+            ring_stats,
+            self._pivots,
+            self._pdm,
+        ):
+            yield r_id, (ids, dists)
+
+    def cleanup(self, ctx: Context):
+        ctx.counters.incr(PAIRS_GROUP, PAIRS_NAME, self._metric.pairs_computed)
+        return ()
+
+
+class PBJ(KnnJoinAlgorithm):
+    """Partitioning-Based Join: PGBJ's pruning without grouping."""
+
+    name = "pbj"
+
+    def __init__(self, config: BlockJoinConfig) -> None:
+        super().__init__(config)
+        self.config: BlockJoinConfig = config
+
+    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
+        config = self.config
+        self._check_inputs(r, s, config.k)
+        rng = np.random.default_rng(config.seed)
+        master_metric = self._master_metric()
+        runtime = LocalRuntime()
+        phases: dict[str, float] = {}
+
+        # pivot selection, exactly as PGBJ's preprocessing
+        started = time.perf_counter()
+        pgbj_like = _pivot_view(config)
+        selector = make_pivot_selector(pgbj_like)
+        pivots = selector.select(r, config.num_pivots, master_metric, rng)
+        phases["pivot_selection"] = time.perf_counter() - started
+
+        # first job: annotate every object with cell id + pivot distance
+        job1 = run_partitioning_job(r, s, pivots, config, runtime)
+
+        # pivot distance matrix, broadcast to the join reducers
+        partitioner = VoronoiPartitioner(pivots, master_metric)
+        pdm = partitioner.pivot_distance_matrix()
+
+        # second job: block join with locally derived bounds
+        job2_spec = block_join_spec(
+            name="pbj-block-join",
+            reducer_factory=PbjJoinReducer,
+            num_blocks=config.num_blocks,
+            cache={
+                "metric_name": config.metric_name,
+                "k": config.k,
+                "pivots": pivots,
+                "pivot_dist_matrix": pdm,
+            },
+        )
+        job2 = runtime.run(job2_spec, split_records(job1.outputs, config.split_size))
+
+        # third job: merge the per-block candidate lists
+        job3 = run_merge_job(job2.outputs, config, runtime)
+
+        result = KnnJoinResult(config.k)
+        for r_id, (ids, dists) in job3.outputs:
+            result.add(r_id, ids, dists)
+        outcome = JoinOutcome(
+            algorithm=self.name,
+            result=result,
+            r_size=len(r),
+            s_size=len(s),
+            k=config.k,
+            master_phases=phases,
+            job_stats=[job1.stats, job2.stats, job3.stats],
+            job_phase_names=["data_partitioning", "knn_join", "merge"],
+            master_distance_pairs=master_metric.pairs_computed,
+        )
+        for job in (job1, job2, job3):
+            outcome.counters.merge(job.counters)
+        return outcome
+
+
+def _pivot_view(config: BlockJoinConfig):
+    """Adapter giving :func:`make_pivot_selector` the fields it reads."""
+    from .base import PgbjConfig
+
+    return PgbjConfig(
+        k=config.k,
+        num_reducers=config.num_reducers,
+        metric_name=config.metric_name,
+        seed=config.seed,
+        split_size=config.split_size,
+        num_pivots=config.num_pivots,
+        pivot_selection=config.pivot_selection,
+        pivot_sample_size=config.pivot_sample_size,
+        random_candidate_sets=config.random_candidate_sets,
+    )

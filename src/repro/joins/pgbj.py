@@ -1,0 +1,213 @@
+"""PGBJ: the paper's Partitioning and Grouping Based kNN Join.
+
+Pipeline (Figure 3): master-side pivot selection → map-only partitioning job
+with summary collection → master-side index merging and partition grouping →
+the kNN-join job whose mapper replicates S by the Corollary 2 / Theorem 6
+shipping rule and whose reducer runs the Algorithm 3 kernel.
+
+Shuffling cost is ``|R| + alpha * |S|`` — the headline advantage over the
+block-framework baselines — because R is never replicated and every S object
+ships only to the groups whose bound requires it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.bounds import compute_lb_matrix, compute_thetas, group_lb_matrix
+from repro.core.dataset import Dataset
+from repro.core.distance import get_metric
+from repro.core.geometry import PRUNE_EPS
+from repro.core.partition import VoronoiPartitioner
+from repro.core.result import KnnJoinResult
+from repro.grouping import get_grouping_strategy
+from repro.mapreduce.hdfs import DistributedFileSystem
+from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
+from repro.mapreduce.partitioners import ModPartitioner
+from repro.mapreduce.runtime import LocalRuntime
+from repro.pivots import (
+    FarthestPivotSelector,
+    KMeansPivotSelector,
+    PivotSelector,
+    RandomPivotSelector,
+)
+
+from .base import (
+    PAIRS_GROUP,
+    PAIRS_NAME,
+    REPLICA_GROUP,
+    REPLICA_NAME,
+    JoinOutcome,
+    KnnJoinAlgorithm,
+    PgbjConfig,
+)
+from .kernels import build_r_blocks, build_s_blocks, knn_join_kernel
+from .partition_job import merge_summaries, run_partitioning_job
+
+__all__ = ["PGBJ", "make_pivot_selector"]
+
+
+def make_pivot_selector(config: PgbjConfig) -> PivotSelector:
+    """Instantiate the configured pivot selector with its knobs."""
+    name = config.pivot_selection.lower()
+    if name == "random":
+        return RandomPivotSelector(num_candidate_sets=config.random_candidate_sets)
+    if name == "farthest":
+        return FarthestPivotSelector(sample_size=config.pivot_sample_size)
+    if name == "kmeans":
+        return KMeansPivotSelector(
+            sample_size=config.pivot_sample_size,
+            max_iterations=config.kmeans_iterations,
+        )
+    raise ValueError(f"unknown pivot selection strategy {config.pivot_selection!r}")
+
+
+class GroupRoutingMapper(Mapper):
+    """Second-job mapper (Algorithm 3 lines 3-11), group-keyed.
+
+    R objects go to their partition's group; S objects go to every group
+    whose ``LB(P_j^S, G_i)`` admits them (Theorem 6) — each extra copy is one
+    unit of replication, counted for the Figure 7(b) measurement.
+    """
+
+    def setup(self, ctx: Context) -> None:
+        self._partition_to_group: dict[int, int] = ctx.cache["partition_to_group"]
+        self._lb_group: np.ndarray = ctx.cache["lb_group"]
+
+    def map(self, key, value, ctx: Context):
+        record = value
+        if record.is_from_r():
+            yield self._partition_to_group[record.partition_id], record
+        else:
+            thresholds = self._lb_group[record.partition_id]
+            groups = np.flatnonzero(record.pivot_distance >= thresholds - PRUNE_EPS)
+            ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME, int(groups.size))
+            for group_index in groups:
+                yield int(group_index), record
+
+
+class PgbjJoinReducer(Reducer):
+    """Second-job reducer: the Algorithm 3 kernel over one group."""
+
+    def setup(self, ctx: Context) -> None:
+        self._metric = get_metric(ctx.cache["metric_name"])
+        self._k = int(ctx.cache["k"])
+        self._thetas: dict[int, float] = ctx.cache["thetas"]
+        self._ring_stats: dict[int, tuple[float, float]] = ctx.cache["ring_stats"]
+        self._pivots: np.ndarray = ctx.cache["pivots"]
+        self._pdm: np.ndarray = ctx.cache["pivot_dist_matrix"]
+        self._use_hyperplane = bool(ctx.cache["use_hyperplane_pruning"])
+        self._use_ring = bool(ctx.cache["use_ring_pruning"])
+
+    def reduce(self, key, values, ctx: Context):
+        r_blocks = build_r_blocks(rec for rec in values if rec.is_from_r())
+        s_blocks = build_s_blocks(rec for rec in values if not rec.is_from_r())
+        if not r_blocks:
+            return
+        for r_id, ids, dists in knn_join_kernel(
+            self._metric,
+            self._k,
+            r_blocks,
+            s_blocks,
+            self._thetas,
+            self._ring_stats,
+            self._pivots,
+            self._pdm,
+            use_hyperplane_pruning=self._use_hyperplane,
+            use_ring_pruning=self._use_ring,
+        ):
+            yield r_id, (ids, dists)
+
+    def cleanup(self, ctx: Context):
+        ctx.counters.incr(PAIRS_GROUP, PAIRS_NAME, self._metric.pairs_computed)
+        return ()
+
+
+class PGBJ(KnnJoinAlgorithm):
+    """The paper's proposed algorithm (Sections 4-5)."""
+
+    name = "pgbj"
+
+    def __init__(self, config: PgbjConfig) -> None:
+        super().__init__(config)
+        self.config: PgbjConfig = config
+
+    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
+        config = self.config
+        self._check_inputs(r, s, config.k)
+        rng = np.random.default_rng(config.seed)
+        master_metric = self._master_metric()
+        runtime = LocalRuntime()
+        phases: dict[str, float] = {}
+
+        # -- preprocessing: pivot selection on the master ---------------------
+        started = time.perf_counter()
+        selector = make_pivot_selector(config)
+        pivots = selector.select(r, config.num_pivots, master_metric, rng)
+        phases["pivot_selection"] = time.perf_counter() - started
+
+        # -- first job: Voronoi partitioning + summaries ----------------------
+        job1 = run_partitioning_job(r, s, pivots, config, runtime)
+        tr, ts, merge_seconds = merge_summaries(job1, config.k)
+        phases["index_merging"] = merge_seconds
+
+        # -- master: theta/LB bounds and partition grouping -------------------
+        started = time.perf_counter()
+        partitioner = VoronoiPartitioner(pivots, master_metric)
+        pdm = partitioner.pivot_distance_matrix()
+        thetas = compute_thetas(tr, ts, pdm, config.k)
+        lb_matrix = compute_lb_matrix(tr, pdm, thetas)
+        strategy = get_grouping_strategy(config.grouping)
+        assignment = strategy.group(tr, ts, pdm, lb_matrix, config.num_reducers)
+        lb_group = group_lb_matrix(lb_matrix, assignment.groups)
+        phases["partition_grouping"] = time.perf_counter() - started
+
+        # -- second job: route by group, join with the Algorithm 3 kernel -----
+        dfs = DistributedFileSystem(
+            num_nodes=config.num_reducers, chunk_records=config.split_size
+        )
+        dfs.put("partitioned", job1.outputs)
+        ring_stats = {
+            pid: (ts.get(pid).lower, ts.get(pid).upper) for pid in ts.partition_ids()
+        }
+        job2_spec = MapReduceJob(
+            name="knn-join",
+            mapper_factory=GroupRoutingMapper,
+            reducer_factory=PgbjJoinReducer,
+            partitioner=ModPartitioner(),
+            num_reducers=config.num_reducers,
+            cache={
+                "partition_to_group": assignment.partition_to_group,
+                "lb_group": lb_group,
+                "metric_name": config.metric_name,
+                "k": config.k,
+                "thetas": thetas,
+                "ring_stats": ring_stats,
+                "pivots": pivots,
+                "pivot_dist_matrix": pdm,
+                "use_hyperplane_pruning": config.use_hyperplane_pruning,
+                "use_ring_pruning": config.use_ring_pruning,
+            },
+        )
+        job2 = runtime.run(job2_spec, dfs.splits("partitioned"))
+
+        # -- assemble the outcome ----------------------------------------------
+        result = KnnJoinResult(config.k)
+        for r_id, (ids, dists) in job2.outputs:
+            result.add(r_id, ids, dists)
+        outcome = JoinOutcome(
+            algorithm=self.name,
+            result=result,
+            r_size=len(r),
+            s_size=len(s),
+            k=config.k,
+            master_phases=phases,
+            job_stats=[job1.stats, job2.stats],
+            job_phase_names=["data_partitioning", "knn_join"],
+            master_distance_pairs=master_metric.pairs_computed,
+        )
+        outcome.counters.merge(job1.counters)
+        outcome.counters.merge(job2.counters)
+        return outcome

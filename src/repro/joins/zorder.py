@@ -1,0 +1,269 @@
+"""Extension: H-zkNNJ-style *approximate* kNN join on z-order curves.
+
+The paper cites H-zkNNJ (Zhang et al., EDBT 2012) as the approximate
+competitor and explicitly excludes it ("we focus on exactly processing kNN
+join queries ... thus excluding approximate methods, like LSH or H-zkNNJ").
+This module implements it as an extension so the exact/approximate trade-off
+can be measured inside the same harness.
+
+Algorithm sketch (two MapReduce jobs, like the block framework):
+
+1. Draw ``num_shifts`` random shift vectors (the first is zero).  For each
+   shift, both datasets are mapped onto the z-order curve of the shifted
+   space; ``S``'s curve is range-partitioned into ``num_reducers`` blocks by
+   z-value quantiles estimated from a master-side sample.  Every ``r`` goes
+   to the block covering its z-value; every ``s`` goes to its own block and
+   — to heal block boundaries — to the neighboring block when it lies within
+   ``k`` curve positions of the boundary estimate.
+2. Each reducer sorts its S block by z-value and, for each ``r``, takes the
+   ``2k`` nearest S objects *along the curve* as candidates, computing their
+   true distances.  A merge job keeps the best k per ``r`` across all shifts.
+
+The result is approximate: a true neighbor may be z-far in every shift.
+Quality is measured by :func:`recall_against` (fraction of exact neighbors
+found) and the distance ratio; both improve with ``num_shifts``.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.distance import get_metric
+from repro.core.result import KnnJoinResult
+from repro.core.zorder import ZOrderTransform
+from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
+from repro.mapreduce.partitioners import ModPartitioner
+from repro.mapreduce.runtime import LocalRuntime
+from repro.mapreduce.splits import dataset_splits
+
+from .base import (
+    PAIRS_GROUP,
+    PAIRS_NAME,
+    REPLICA_GROUP,
+    REPLICA_NAME,
+    JoinConfig,
+    JoinOutcome,
+    KnnJoinAlgorithm,
+)
+from .block_framework import run_merge_job
+
+__all__ = ["ZOrderKnnJoin", "ZOrderConfig", "recall_against"]
+
+
+class ZOrderConfig(JoinConfig):
+    """Configuration for the approximate z-order join.
+
+    ``num_shifts`` is the alpha of H-zkNNJ (copies of the curve);
+    ``bits`` the per-dimension quantization; ``candidates_per_side`` how many
+    curve neighbors each side contributes (k is the classic choice).
+    """
+
+    def __init__(
+        self,
+        num_shifts: int = 3,
+        bits: int = 16,
+        candidates_per_side: int | None = None,
+        sample_size: int = 1024,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if num_shifts < 1:
+            raise ValueError("num_shifts must be >= 1")
+        self.num_shifts = num_shifts
+        self.bits = bits
+        self.candidates_per_side = candidates_per_side or self.k
+        self.sample_size = sample_size
+
+
+class ZOrderRoutingMapper(Mapper):
+    """Routes objects to (shift, z-range block) reducers."""
+
+    def setup(self, ctx: Context) -> None:
+        self._shifts: np.ndarray = ctx.cache["shifts"]
+        self._transform: ZOrderTransform = ctx.cache["transform"]
+        self._boundaries: list[list[int]] = ctx.cache["boundaries"]
+        self._blocks_per_shift = int(ctx.cache["blocks_per_shift"])
+        self._margins: list[int] = ctx.cache["margins"]
+
+    def _block_of(self, shift_index: int, z_value: int) -> int:
+        return bisect.bisect_right(self._boundaries[shift_index], z_value)
+
+    def map(self, key, value, ctx: Context):
+        record = value
+        for shift_index in range(self._shifts.shape[0]):
+            shifted = record.point + self._shifts[shift_index]
+            z_value = self._transform.z_values(shifted.reshape(1, -1))[0]
+            block = self._block_of(shift_index, z_value)
+            reducer_key = shift_index * self._blocks_per_shift + block
+            payload = (record.is_from_r(), record.object_id, record.point, z_value)
+            if record.is_from_r():
+                yield reducer_key, payload
+            else:
+                ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME)
+                yield reducer_key, payload
+                # boundary healing: also feed the neighbor block when the
+                # z-value sits next to the estimated boundary
+                for neighbor in (block - 1, block + 1):
+                    if 0 <= neighbor < self._blocks_per_shift and self._near_boundary(
+                        shift_index, z_value, neighbor
+                    ):
+                        ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME)
+                        yield shift_index * self._blocks_per_shift + neighbor, payload
+
+    def _near_boundary(self, shift_index: int, z_value: int, neighbor: int) -> bool:
+        boundaries = self._boundaries[shift_index]
+        margin = self._margins[shift_index]
+        if neighbor < self._block_of(shift_index, z_value):
+            return z_value - boundaries[neighbor] <= margin
+        return boundaries[neighbor - 1] - z_value <= margin
+
+
+class ZOrderJoinReducer(Reducer):
+    """Per (shift, block): curve-neighbor candidates with true distances."""
+
+    def setup(self, ctx: Context) -> None:
+        self._metric = get_metric(ctx.cache["metric_name"])
+        self._k = int(ctx.cache["k"])
+        self._per_side = int(ctx.cache["candidates_per_side"])
+
+    def reduce(self, key, values, ctx: Context):
+        r_items = [(z, oid, point) for is_r, oid, point, z in values if is_r]
+        s_items = [(z, oid, point) for is_r, oid, point, z in values if not is_r]
+        if not r_items or not s_items:
+            return
+        s_items.sort(key=lambda item: (item[0], item[1]))
+        s_z = [z for z, _, _ in s_items]
+        s_ids = np.array([oid for _, oid, _ in s_items], dtype=np.int64)
+        s_points = np.array([point for _, _, point in s_items], dtype=np.float64)
+        for z_value, r_id, r_point in r_items:
+            center = bisect.bisect_left(s_z, z_value)
+            start = max(0, center - self._per_side)
+            stop = min(len(s_items), center + self._per_side)
+            if start >= stop:
+                continue
+            dists = self._metric.distances(r_point, s_points[start:stop])
+            order = np.lexsort((s_ids[start:stop], dists))[: self._k]
+            yield r_id, (s_ids[start:stop][order], dists[order])
+
+    def cleanup(self, ctx: Context):
+        ctx.counters.incr(PAIRS_GROUP, PAIRS_NAME, self._metric.pairs_computed)
+        return ()
+
+
+class ZOrderKnnJoin(KnnJoinAlgorithm):
+    """Approximate kNN join on shifted z-order curves (extension)."""
+
+    name = "zorder"
+
+    def __init__(self, config: ZOrderConfig) -> None:
+        super().__init__(config)
+        self.config: ZOrderConfig = config
+
+    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
+        config = self.config
+        self._check_inputs(r, s, config.k)
+        rng = np.random.default_rng(config.seed)
+        runtime = LocalRuntime()
+
+        # master-side preprocessing: shifts, transform, quantile boundaries
+        span = np.maximum(
+            np.vstack([r.points, s.points]).max(axis=0)
+            - np.vstack([r.points, s.points]).min(axis=0),
+            1e-9,
+        )
+        shifts = np.vstack(
+            [np.zeros(r.dimensions)]
+            + [rng.random(r.dimensions) * span * 0.25 for _ in range(config.num_shifts - 1)]
+        )
+        transform = ZOrderTransform.for_points(
+            np.vstack([r.points, s.points]), bits=config.bits, padding=0.3
+        )
+        blocks_per_shift = max(1, config.num_reducers // config.num_shifts)
+        sample_rows = rng.choice(
+            len(s), size=min(config.sample_size, len(s)), replace=False
+        )
+        boundaries: list[list[int]] = []
+        margins: list[int] = []
+        for shift_index in range(config.num_shifts):
+            sample_z = sorted(
+                transform.z_values(s.points[sample_rows] + shifts[shift_index])
+            )
+            quantiles = [
+                sample_z[int(len(sample_z) * q / blocks_per_shift)]
+                for q in range(1, blocks_per_shift)
+            ]
+            boundaries.append(quantiles)
+            # boundary margin: median z-gap between curve neighbors, times k
+            gaps = [b - a for a, b in zip(sample_z, sample_z[1:])] or [0]
+            margins.append(int(sorted(gaps)[len(gaps) // 2] * config.k))
+
+        job1_spec = MapReduceJob(
+            name="zorder-join",
+            mapper_factory=ZOrderRoutingMapper,
+            reducer_factory=ZOrderJoinReducer,
+            partitioner=ModPartitioner(),
+            num_reducers=config.num_shifts * blocks_per_shift,
+            cache={
+                "shifts": shifts,
+                "transform": transform,
+                "boundaries": boundaries,
+                "margins": margins,
+                "blocks_per_shift": blocks_per_shift,
+                "metric_name": config.metric_name,
+                "k": config.k,
+                "candidates_per_side": config.candidates_per_side,
+            },
+        )
+        job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
+        job2 = run_merge_job(job1.outputs, config, runtime)
+
+        result = KnnJoinResult(config.k)
+        for r_id, (ids, dists) in job2.outputs:
+            result.add(r_id, ids, dists)
+        outcome = JoinOutcome(
+            algorithm=self.name,
+            result=result,
+            r_size=len(r),
+            s_size=len(s),
+            k=config.k,
+            master_phases={},
+            job_stats=[job1.stats, job2.stats],
+            job_phase_names=["knn_join", "merge"],
+            master_distance_pairs=0,
+        )
+        outcome.counters.merge(job1.counters)
+        outcome.counters.merge(job2.counters)
+        return outcome
+
+
+def recall_against(
+    approximate: KnnJoinResult, exact: KnnJoinResult
+) -> tuple[float, float]:
+    """Quality of an approximate join: ``(recall, distance_ratio)``.
+
+    Recall is measured on distances (tie-insensitive): an approximate
+    neighbor counts when its distance is within the exact k-th radius.  The
+    distance ratio is mean(approx kth / exact kth) — 1.0 means perfect.
+    """
+    hits = 0
+    total = 0
+    ratios = []
+    for r_id in exact.r_ids():
+        _, exact_dists = exact.neighbors_of(r_id)
+        if r_id not in approximate:
+            total += exact_dists.size
+            continue
+        _, approx_dists = approximate.neighbors_of(r_id)
+        radius = exact_dists[-1] + 1e-9
+        hits += int((approx_dists <= radius).sum())
+        total += exact_dists.size
+        if approx_dists.size and exact_dists[-1] > 0:
+            ratios.append(approx_dists[-1] / exact_dists[-1])
+        else:
+            ratios.append(1.0)
+    recall = hits / total if total else 0.0
+    ratio = float(np.mean(ratios)) if ratios else float("inf")
+    return recall, ratio

@@ -1,0 +1,46 @@
+"""A deterministic MapReduce runtime with Hadoop-faithful accounting.
+
+This subpackage substitutes for the paper's Hadoop 0.20.2 cluster: jobs are
+described exactly as map/combine/partition/reduce (``job``), executed by a
+single-process runtime that measures per-task CPU time and shuffle
+records/bytes (``runtime``), and projected onto a cluster of ``N`` nodes with
+one map and one reduce slot each via the scheduling model (``cluster``).
+"""
+
+from .cluster import Cluster, schedule_makespan
+from .counters import Counters
+from .hdfs import DfsFile, DistributedFileSystem
+from .job import Context, Mapper, MapReduceJob, Reducer
+from .partitioners import HashPartitioner, ModPartitioner, Partitioner
+from .runtime import FaultInjector, JobResult, LocalRuntime, TaskFailure
+from .serialization import estimate_bytes
+from .splits import dataset_splits, records_from_dataset, split_records
+from .stats import JobStats, TaskStat
+from .types import InputSplit, ObjectRecord
+
+__all__ = [
+    "Cluster",
+    "schedule_makespan",
+    "Counters",
+    "DistributedFileSystem",
+    "DfsFile",
+    "Context",
+    "Mapper",
+    "Reducer",
+    "MapReduceJob",
+    "Partitioner",
+    "HashPartitioner",
+    "ModPartitioner",
+    "LocalRuntime",
+    "JobResult",
+    "TaskFailure",
+    "FaultInjector",
+    "estimate_bytes",
+    "dataset_splits",
+    "records_from_dataset",
+    "split_records",
+    "JobStats",
+    "TaskStat",
+    "InputSplit",
+    "ObjectRecord",
+]

@@ -1,0 +1,102 @@
+"""Cluster topology and the task-scheduling / running-time model.
+
+This is the substitution for the paper's 72-node "Awan" cluster.  The
+algorithms' *work* (per-task CPU seconds, shuffle bytes) is measured for real
+by the runtime; this module turns that work into a simulated wall-clock time
+for a given cluster size, which is what the paper's running-time and speedup
+figures (8, 9, 11, 12) plot:
+
+* map/reduce phases are wave-scheduled onto the cluster's slots (Hadoop FIFO:
+  each task takes the earliest-free slot), giving the phase *makespan*;
+* the shuffle moves its bytes across an aggregate network of
+  ``num_nodes * bandwidth``;
+* job setup broadcasts the distributed cache (pivots, summary tables) to every
+  node at per-node bandwidth — one of the two reasons the paper names for
+  sub-linear speedup.
+
+Paper-default configuration: one map and one reduce slot per node, gigabit
+ethernet.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["Cluster", "schedule_makespan"]
+
+
+def schedule_makespan(durations: Sequence[float], slots: int) -> float:
+    """Greedy FIFO list scheduling: each task takes the earliest-free slot.
+
+    Returns the makespan (time at which the last task finishes).  Matches
+    Hadoop's wave behaviour: with ``t`` tasks and ``s`` slots the first wave
+    runs ``s`` tasks, and so on.
+    """
+    if slots < 1:
+        raise ValueError("need at least one slot")
+    if not durations:
+        return 0.0
+    free = [0.0] * min(slots, len(durations))
+    heapq.heapify(free)
+    for duration in durations:
+        if duration < 0:
+            raise ValueError("task durations must be non-negative")
+        start = heapq.heappop(free)
+        heapq.heappush(free, start + duration)
+    return max(free)
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A shared-nothing cluster in the paper's configuration.
+
+    ``bandwidth_bytes_per_s`` is per node (gigabit ethernet by default);
+    ``task_startup_s`` models JVM/task-launch latency per scheduled task.
+    """
+
+    num_nodes: int = 36
+    map_slots_per_node: int = 1
+    reduce_slots_per_node: int = 1
+    bandwidth_bytes_per_s: float = 125_000_000.0
+    task_startup_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+
+    @property
+    def map_slots(self) -> int:
+        """Cluster-wide concurrent map tasks."""
+        return self.num_nodes * self.map_slots_per_node
+
+    @property
+    def reduce_slots(self) -> int:
+        """Cluster-wide concurrent reduce tasks."""
+        return self.num_nodes * self.reduce_slots_per_node
+
+    # -- running-time model -------------------------------------------------
+
+    def map_phase_seconds(self, task_durations: Sequence[float]) -> float:
+        """Makespan of the map phase on this cluster."""
+        padded = [d + self.task_startup_s for d in task_durations]
+        return schedule_makespan(padded, self.map_slots)
+
+    def reduce_phase_seconds(self, task_durations: Sequence[float]) -> float:
+        """Makespan of the reduce phase on this cluster."""
+        padded = [d + self.task_startup_s for d in task_durations]
+        return schedule_makespan(padded, self.reduce_slots)
+
+    def shuffle_seconds(self, shuffle_bytes: int) -> float:
+        """Time to move the intermediate data across the aggregate network."""
+        return shuffle_bytes / (self.bandwidth_bytes_per_s * self.num_nodes)
+
+    def broadcast_seconds(self, cache_bytes: int) -> float:
+        """Time for every node to pull the distributed cache from the DFS.
+
+        Each node reads the full cache at its own link speed, so the cost is
+        independent of cluster size — a fixed per-job overhead that caps
+        speedup (paper Section 6.5, reason 1).
+        """
+        return cache_bytes / self.bandwidth_bytes_per_s

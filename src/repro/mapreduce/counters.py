@@ -1,0 +1,52 @@
+"""Hadoop-style job counters.
+
+Counters are the runtime's cross-task accounting channel: tasks increment
+named counters (grouped like Hadoop's ``group:name``), the runtime merges the
+per-task deltas of *successful* attempts only, so injected task failures and
+retries never double-count.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterator
+
+__all__ = ["Counters"]
+
+
+class Counters:
+    """A two-level counter map: ``(group, name) -> int``."""
+
+    def __init__(self) -> None:
+        self._values: dict[tuple[str, str], int] = defaultdict(int)
+
+    def incr(self, group: str, name: str, amount: int = 1) -> None:
+        """Increment ``group:name`` by ``amount``."""
+        self._values[(group, name)] += int(amount)
+
+    def value(self, group: str, name: str) -> int:
+        """Current value (0 if never incremented)."""
+        return self._values.get((group, name), 0)
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another counter set into this one."""
+        for key, amount in other._values.items():
+            self._values[key] += amount
+
+    def items(self) -> Iterator[tuple[str, str, int]]:
+        """Iterate ``(group, name, value)`` sorted by group then name."""
+        for (group, name), value in sorted(self._values.items()):
+            yield group, name, value
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """Nested ``{group: {name: value}}`` view."""
+        out: dict[str, dict[str, int]] = {}
+        for group, name, value in self.items():
+            out.setdefault(group, {})[name] = value
+        return out
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counters({self.as_dict()!r})"

@@ -1,0 +1,100 @@
+"""A minimal distributed-file-system model (HDFS stand-in).
+
+Jobs in this library, like in the paper's Figure 3, are chained through
+files: the first job writes the partitioned datasets to the DFS, the second
+reads them back as input splits.  The model keeps the pieces that matter for
+the reproduction — fixed-size chunks placed round-robin across data nodes
+(giving the split count and a locality hint), replication factor (the paper
+sets it to 1), and byte accounting for reads/writes — and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .serialization import estimate_bytes
+from .types import InputSplit
+
+__all__ = ["DistributedFileSystem", "DfsFile"]
+
+
+@dataclass
+class DfsFile:
+    """One stored file: a list of chunks, each a list of records."""
+
+    name: str
+    chunks: list[list[tuple[Any, Any]]] = field(default_factory=list)
+    chunk_nodes: list[int] = field(default_factory=list)
+    total_bytes: int = 0
+
+    def record_count(self) -> int:
+        """Total records across all chunks."""
+        return sum(len(chunk) for chunk in self.chunks)
+
+
+class DistributedFileSystem:
+    """Chunked, replicated record storage across ``num_nodes`` data nodes."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        chunk_records: int = 4096,
+        replication: int = 1,
+    ) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
+        if not 1 <= replication <= num_nodes:
+            raise ValueError("replication must be in [1, num_nodes]")
+        self.num_nodes = num_nodes
+        self.chunk_records = chunk_records
+        self.replication = replication
+        self._files: dict[str, DfsFile] = {}
+        self._next_node = 0
+
+    # -- write ---------------------------------------------------------------
+
+    def put(self, name: str, records: list[tuple[Any, Any]]) -> DfsFile:
+        """Store records under ``name``, splitting into chunks (overwrites)."""
+        file = DfsFile(name=name)
+        for start in range(0, max(len(records), 1), self.chunk_records):
+            chunk = records[start : start + self.chunk_records]
+            if not chunk and file.chunks:
+                break
+            file.chunks.append(chunk)
+            file.chunk_nodes.append(self._next_node)
+            self._next_node = (self._next_node + 1) % self.num_nodes
+        file.total_bytes = self.replication * sum(
+            estimate_bytes(key) + estimate_bytes(value) for key, value in records
+        )
+        self._files[name] = file
+        return file
+
+    # -- read ----------------------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        """Whether a file of that name is stored."""
+        return name in self._files
+
+    def read(self, name: str) -> list[tuple[Any, Any]]:
+        """All records of a file, chunk order preserved."""
+        file = self._files[name]
+        return [record for chunk in file.chunks for record in chunk]
+
+    def splits(self, name: str) -> list[InputSplit]:
+        """One input split per chunk, with its primary node as locality hint."""
+        file = self._files[name]
+        return [
+            InputSplit(split_id=index, records=list(chunk), location=node)
+            for index, (chunk, node) in enumerate(zip(file.chunks, file.chunk_nodes))
+        ]
+
+    def file_bytes(self, name: str) -> int:
+        """Stored size including replication."""
+        return self._files[name].total_bytes
+
+    def delete(self, name: str) -> None:
+        """Remove a file (no-op if absent)."""
+        self._files.pop(name, None)

@@ -1,0 +1,99 @@
+"""Job specification: mappers, reducers, combiners and their context.
+
+The programming model mirrors Hadoop's: a :class:`Mapper` (and optionally a
+:class:`Reducer`) with ``setup`` / per-record / ``cleanup`` hooks.  ``setup``
+is where Algorithm 3 does its ``map-setup`` work (line 1-2); ``cleanup`` is
+how the first job's mappers emit their partial summary tables.
+
+Task instances are created fresh per attempt from factories, so injected
+failures can be retried deterministically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from .counters import Counters
+from .partitioners import HashPartitioner, Partitioner
+
+__all__ = ["Context", "Mapper", "Reducer", "MapReduceJob"]
+
+
+class Context:
+    """Per-task execution context.
+
+    Provides Hadoop-equivalent facilities: counters, the read-only
+    *distributed cache* (``cache``), side-output channels (how map tasks ship
+    their partial summary tables to the job driver), and topology facts.
+    """
+
+    def __init__(
+        self,
+        task_id: str,
+        cache: Mapping[str, Any],
+        num_reducers: int,
+    ) -> None:
+        self.task_id = task_id
+        self.cache = cache
+        self.num_reducers = num_reducers
+        self.counters = Counters()
+        self.side_outputs: dict[str, list[Any]] = {}
+
+    def side_output(self, channel: str, value: Any) -> None:
+        """Emit a value on a named side channel (collected per task)."""
+        self.side_outputs.setdefault(channel, []).append(value)
+
+
+class Mapper:
+    """Base mapper.  Subclasses override :meth:`map` (a generator)."""
+
+    def setup(self, ctx: Context) -> None:
+        """Called once before the first record of the task."""
+
+    def map(self, key: Any, value: Any, ctx: Context) -> Iterable[tuple[Any, Any]]:
+        """Process one input record; yield intermediate ``(key, value)`` pairs."""
+        raise NotImplementedError
+
+    def cleanup(self, ctx: Context) -> Iterable[tuple[Any, Any]]:
+        """Called once after the last record; may yield trailing pairs."""
+        return ()
+
+
+class Reducer:
+    """Base reducer.  Subclasses override :meth:`reduce` (a generator)."""
+
+    def setup(self, ctx: Context) -> None:
+        """Called once before the first key of the task."""
+
+    def reduce(self, key: Any, values: list[Any], ctx: Context) -> Iterable[tuple[Any, Any]]:
+        """Process one key group; yield output ``(key, value)`` pairs."""
+        raise NotImplementedError
+
+    def cleanup(self, ctx: Context) -> Iterable[tuple[Any, Any]]:
+        """Called once after the last key; may yield trailing pairs."""
+        return ()
+
+
+@dataclass
+class MapReduceJob:
+    """A complete job description, submitted to a runtime.
+
+    ``reducer_factory=None`` declares a map-only job (the paper's first job
+    "consists of a single Map phase"); its map output goes to the distributed
+    file system rather than through the shuffle, so it contributes no
+    shuffling cost.
+    """
+
+    name: str
+    mapper_factory: Callable[[], Mapper]
+    reducer_factory: Callable[[], Reducer] | None = None
+    combiner_factory: Callable[[], Reducer] | None = None
+    partitioner: Partitioner = field(default_factory=HashPartitioner)
+    num_reducers: int = 1
+    cache: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")

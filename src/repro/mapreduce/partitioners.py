@@ -1,0 +1,56 @@
+"""Shuffle partitioners: which reducer handles which intermediate key.
+
+Hash partitioning here must be *deterministic across processes* (Python's
+built-in ``hash`` is salted), so the generic partitioner mixes key bytes with
+CRC32, as Hadoop's default partitioner hashes writables.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+
+__all__ = ["Partitioner", "HashPartitioner", "ModPartitioner"]
+
+
+class Partitioner(ABC):
+    """Maps an intermediate key to a reducer index in ``[0, num_reducers)``."""
+
+    @abstractmethod
+    def assign(self, key: object, num_reducers: int) -> int:
+        """Reducer index for ``key``."""
+
+
+def _stable_hash(key: object) -> int:
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8"))
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    if isinstance(key, tuple):
+        acc = 2166136261
+        for item in key:
+            acc = (acc * 16777619) ^ (_stable_hash(item) & 0xFFFFFFFF)
+        return acc
+    raise TypeError(f"unhashable shuffle key type: {type(key).__name__}")
+
+
+class HashPartitioner(Partitioner):
+    """Default partitioner: stable hash of the key, modulo reducer count."""
+
+    def assign(self, key: object, num_reducers: int) -> int:
+        return _stable_hash(key) % num_reducers
+
+
+class ModPartitioner(Partitioner):
+    """For integer keys that *are* reducer assignments (group ids).
+
+    PGBJ keys its second job by group id; routing group ``g`` to reducer
+    ``g mod N`` keeps the one-group-per-reducer invariant of the paper.
+    """
+
+    def assign(self, key: object, num_reducers: int) -> int:
+        return int(key) % num_reducers

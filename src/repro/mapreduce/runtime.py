@@ -1,0 +1,285 @@
+"""A deterministic single-process MapReduce runtime.
+
+Executes a :class:`~repro.mapreduce.job.MapReduceJob` with real Hadoop
+semantics — input splits to map tasks, optional combiner, partitioned
+shuffle with per-key sorted grouping, reduce tasks — while measuring what the
+paper measures: per-task CPU seconds (fed to the cluster model for simulated
+running time) and shuffle records/bytes.
+
+Fault tolerance is modelled: a ``fault_injector`` callback may fail any task
+attempt; the runtime re-executes the task (fresh instances from the
+factories) up to ``max_attempts`` times, and only successful attempts
+contribute output, counters and side outputs — exactly once semantics, as
+Hadoop provides through output commit.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from .counters import Counters
+from .job import Context, MapReduceJob
+from .serialization import estimate_bytes
+from .stats import JobStats, TaskStat
+from .types import InputSplit
+
+__all__ = ["LocalRuntime", "JobResult", "TaskFailure", "FaultInjector"]
+
+#: signature: (kind, task_id, attempt) -> True to fail this attempt
+FaultInjector = Callable[[str, str, int], bool]
+
+
+class TaskFailure(RuntimeError):
+    """A task attempt failed (injected or raised by user code)."""
+
+
+@dataclass
+class JobResult:
+    """Everything a completed job hands back to the driver."""
+
+    job_name: str
+    outputs: list[tuple[Any, Any]]
+    outputs_by_reducer: list[list[tuple[Any, Any]]] | None
+    side_outputs: dict[str, list[Any]]
+    counters: Counters
+    stats: JobStats
+
+    def output_values(self) -> list[Any]:
+        """Just the values of the job output, in emission order."""
+        return [value for _, value in self.outputs]
+
+
+@dataclass
+class _Attempted:
+    """Successful task attempt: emissions plus bookkeeping."""
+
+    emissions: list[tuple[Any, Any]]
+    context: Context
+    duration_s: float
+    attempts: int
+    input_records: int = 0
+
+
+class LocalRuntime:
+    """Runs jobs in-process, deterministically, with measured task costs."""
+
+    def __init__(
+        self,
+        fault_injector: FaultInjector | None = None,
+        max_attempts: int = 4,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.fault_injector = fault_injector
+        self.max_attempts = max_attempts
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, job: MapReduceJob, splits: Sequence[InputSplit]) -> JobResult:
+        """Execute a job over the given input splits."""
+        counters = Counters()
+        side_outputs: dict[str, list[Any]] = {}
+        stats = JobStats(job_name=job.name)
+        stats.cache_bytes = _cache_bytes(job.cache)
+
+        map_results = [
+            self._run_map_task(job, split, index) for index, split in enumerate(splits)
+        ]
+        for index, attempt in enumerate(map_results):
+            counters.merge(attempt.context.counters)
+            for channel, values in attempt.context.side_outputs.items():
+                side_outputs.setdefault(channel, []).extend(values)
+            stats.map_tasks.append(
+                TaskStat(
+                    task_id=f"{job.name}-m-{index:05d}",
+                    kind="map",
+                    duration_s=attempt.duration_s,
+                    input_records=attempt.input_records,
+                    output_records=len(attempt.emissions),
+                    attempts=attempt.attempts,
+                )
+            )
+
+        if job.reducer_factory is None:
+            # map-only job: output goes to the DFS, no shuffle occurs
+            outputs = [pair for attempt in map_results for pair in attempt.emissions]
+            stats.output_bytes = _pairs_bytes(outputs)
+            return JobResult(job.name, outputs, None, side_outputs, counters, stats)
+
+        buckets = self._shuffle(job, map_results, stats)
+
+        outputs_by_reducer: list[list[tuple[Any, Any]]] = []
+        for reducer_index in range(job.num_reducers):
+            grouped = buckets[reducer_index]
+            if not grouped:
+                outputs_by_reducer.append([])
+                stats.reduce_tasks.append(
+                    TaskStat(
+                        task_id=f"{job.name}-r-{reducer_index:05d}",
+                        kind="reduce",
+                        duration_s=0.0,
+                        input_records=0,
+                        output_records=0,
+                    )
+                )
+                continue
+            attempt = self._run_reduce_task(job, grouped, reducer_index)
+            counters.merge(attempt.context.counters)
+            for channel, values in attempt.context.side_outputs.items():
+                side_outputs.setdefault(channel, []).extend(values)
+            outputs_by_reducer.append(attempt.emissions)
+            stats.reduce_tasks.append(
+                TaskStat(
+                    task_id=f"{job.name}-r-{reducer_index:05d}",
+                    kind="reduce",
+                    duration_s=attempt.duration_s,
+                    input_records=attempt.input_records,
+                    output_records=len(attempt.emissions),
+                    attempts=attempt.attempts,
+                )
+            )
+
+        outputs = [pair for per_reducer in outputs_by_reducer for pair in per_reducer]
+        stats.output_bytes = _pairs_bytes(outputs)
+        return JobResult(job.name, outputs, outputs_by_reducer, side_outputs, counters, stats)
+
+    # -- phases ----------------------------------------------------------------
+
+    def _run_map_task(
+        self, job: MapReduceJob, split: InputSplit, index: int
+    ) -> _Attempted:
+        task_id = f"{job.name}-m-{index:05d}"
+
+        def attempt_once(ctx: Context) -> list[tuple[Any, Any]]:
+            mapper = job.mapper_factory()
+            emissions: list[tuple[Any, Any]] = []
+            mapper.setup(ctx)
+            for key, value in split.records:
+                emissions.extend(mapper.map(key, value, ctx))
+            emissions.extend(mapper.cleanup(ctx))
+            if job.combiner_factory is not None:
+                emissions = self._combine(job, emissions, ctx)
+            return emissions
+
+        attempt = self._with_retries("map", task_id, job, attempt_once)
+        attempt.input_records = len(split.records)
+        return attempt
+
+    def _run_reduce_task(
+        self,
+        job: MapReduceJob,
+        grouped: dict[Any, list[Any]],
+        reducer_index: int,
+    ) -> _Attempted:
+        task_id = f"{job.name}-r-{reducer_index:05d}"
+        sorted_keys = sorted(grouped)
+
+        def attempt_once(ctx: Context) -> list[tuple[Any, Any]]:
+            reducer = job.reducer_factory()
+            emissions: list[tuple[Any, Any]] = []
+            reducer.setup(ctx)
+            for key in sorted_keys:
+                emissions.extend(reducer.reduce(key, grouped[key], ctx))
+            emissions.extend(reducer.cleanup(ctx))
+            return emissions
+
+        attempt = self._with_retries("reduce", task_id, job, attempt_once)
+        attempt.input_records = sum(len(v) for v in grouped.values())
+        return attempt
+
+    def _combine(
+        self, job: MapReduceJob, emissions: list[tuple[Any, Any]], ctx: Context
+    ) -> list[tuple[Any, Any]]:
+        """Run the combiner over one map task's output (Hadoop's local reduce)."""
+        grouped: dict[Any, list[Any]] = {}
+        for key, value in emissions:
+            grouped.setdefault(key, []).append(value)
+        combiner = job.combiner_factory()
+        combined: list[tuple[Any, Any]] = []
+        combiner.setup(ctx)
+        for key in sorted(grouped):
+            combined.extend(combiner.reduce(key, grouped[key], ctx))
+        combined.extend(combiner.cleanup(ctx))
+        return combined
+
+    def _shuffle(
+        self,
+        job: MapReduceJob,
+        map_results: list[_Attempted],
+        stats: JobStats,
+    ) -> list[dict[Any, list[Any]]]:
+        """Partition, account, and group the intermediate pairs."""
+        buckets: list[dict[Any, list[Any]]] = [{} for _ in range(job.num_reducers)]
+        shuffle_bytes = 0
+        shuffle_records = 0
+        for attempt in map_results:
+            for key, value in attempt.emissions:
+                reducer_index = job.partitioner.assign(key, job.num_reducers)
+                if not 0 <= reducer_index < job.num_reducers:
+                    raise ValueError(
+                        f"partitioner produced reducer {reducer_index} "
+                        f"outside [0, {job.num_reducers})"
+                    )
+                buckets[reducer_index].setdefault(key, []).append(value)
+                shuffle_records += 1
+                shuffle_bytes += estimate_bytes(key) + estimate_bytes(value)
+        stats.shuffle_records = shuffle_records
+        stats.shuffle_bytes = shuffle_bytes
+        return buckets
+
+    # -- retry machinery ----------------------------------------------------------
+
+    def _with_retries(
+        self,
+        kind: str,
+        task_id: str,
+        job: MapReduceJob,
+        attempt_once: Callable[[Context], list[tuple[Any, Any]]],
+    ) -> _Attempted:
+        last_error: Exception | None = None
+        for attempt_number in range(1, self.max_attempts + 1):
+            ctx = Context(task_id=task_id, cache=job.cache, num_reducers=job.num_reducers)
+            started = time.perf_counter()
+            try:
+                if self.fault_injector is not None and self.fault_injector(
+                    kind, task_id, attempt_number
+                ):
+                    raise TaskFailure(f"injected failure of {task_id} attempt {attempt_number}")
+                emissions = attempt_once(ctx)
+            except TaskFailure as error:
+                last_error = error
+                continue
+            duration = time.perf_counter() - started
+            return _Attempted(
+                emissions=emissions,
+                context=ctx,
+                duration_s=duration,
+                attempts=attempt_number,
+            )
+        raise TaskFailure(
+            f"task {task_id} failed after {self.max_attempts} attempts"
+        ) from last_error
+
+
+def _cache_bytes(cache: dict[str, Any]) -> int:
+    """Size of the distributed cache; unknown entries are skipped (local refs)."""
+    total = 0
+    for value in cache.values():
+        try:
+            total += estimate_bytes(value)
+        except TypeError:
+            continue
+    return total
+
+
+def _pairs_bytes(pairs: list[tuple[Any, Any]]) -> int:
+    total = 0
+    for key, value in pairs:
+        try:
+            total += estimate_bytes(key) + estimate_bytes(value)
+        except TypeError:
+            total += 64  # opaque output objects: flat estimate
+    return total

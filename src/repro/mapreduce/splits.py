@@ -1,0 +1,44 @@
+"""Helpers to turn datasets into job input splits."""
+
+from __future__ import annotations
+
+from repro.core.dataset import Dataset
+
+from .types import InputSplit, ObjectRecord
+
+__all__ = ["dataset_splits", "records_from_dataset", "split_records"]
+
+
+def records_from_dataset(dataset: Dataset, tag: str) -> list[tuple[str, ObjectRecord]]:
+    """Flatten a dataset into ``(tag, ObjectRecord)`` input pairs."""
+    payloads = dataset.payload_bytes
+    return [
+        (
+            tag,
+            ObjectRecord(
+                dataset=tag,
+                object_id=int(dataset.ids[row]),
+                point=dataset.points[row],
+                payload=0 if payloads is None else int(payloads[row]),
+            ),
+        )
+        for row in range(len(dataset))
+    ]
+
+
+def split_records(records: list, split_size: int) -> list[InputSplit]:
+    """Chunk a record list into fixed-size input splits."""
+    if split_size < 1:
+        raise ValueError("split_size must be >= 1")
+    return [
+        InputSplit(split_id=index, records=records[start : start + split_size])
+        for index, start in enumerate(range(0, len(records), split_size))
+    ]
+
+
+def dataset_splits(
+    r: Dataset, s: Dataset, split_size: int
+) -> list[InputSplit]:
+    """Input splits covering ``R`` then ``S`` — the first job's input."""
+    records = records_from_dataset(r, "R") + records_from_dataset(s, "S")
+    return split_records(records, split_size)

@@ -1,0 +1,97 @@
+"""Per-job execution statistics and the simulated running time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cluster import Cluster
+
+__all__ = ["TaskStat", "JobStats"]
+
+
+@dataclass
+class TaskStat:
+    """Measured facts about one successful task attempt."""
+
+    task_id: str
+    kind: str  # "map" | "reduce"
+    duration_s: float  # measured single-thread CPU seconds
+    input_records: int
+    output_records: int
+    attempts: int = 1  # total attempts including failures
+
+
+@dataclass
+class JobStats:
+    """Everything measured while executing one job.
+
+    ``shuffle_bytes``/``shuffle_records`` account the mapper-to-reducer
+    traffic (zero for map-only jobs, whose output lands on the DFS);
+    ``cache_bytes`` is the distributed-cache size broadcast at setup;
+    ``output_bytes`` is the final job output written to the DFS.
+    """
+
+    job_name: str
+    map_tasks: list[TaskStat] = field(default_factory=list)
+    reduce_tasks: list[TaskStat] = field(default_factory=list)
+    shuffle_records: int = 0
+    shuffle_bytes: int = 0
+    cache_bytes: int = 0
+    output_bytes: int = 0
+
+    # -- aggregate work -------------------------------------------------------
+
+    def total_map_seconds(self) -> float:
+        """Sum of successful map-task durations (serial CPU work)."""
+        return sum(task.duration_s for task in self.map_tasks)
+
+    def total_reduce_seconds(self) -> float:
+        """Sum of successful reduce-task durations (serial CPU work)."""
+        return sum(task.duration_s for task in self.reduce_tasks)
+
+    def total_attempts(self) -> int:
+        """All task attempts, including retried failures."""
+        return sum(t.attempts for t in self.map_tasks + self.reduce_tasks)
+
+    def reduce_skew(self) -> float:
+        """Load imbalance of the reduce phase: max/mean task duration.
+
+        1.0 is perfect balance; large values mean one straggling reducer
+        gates the phase — the failure mode the paper's grouping strategies
+        (Table 3) exist to prevent.  Returns 0.0 when no reduce work ran.
+        """
+        durations = [t.duration_s for t in self.reduce_tasks]
+        if not durations or sum(durations) == 0:
+            return 0.0
+        mean = sum(durations) / len(durations)
+        return max(durations) / mean
+
+    def reduce_input_skew(self) -> float:
+        """Record-count imbalance of the reduce inputs (max/mean).
+
+        Timing-free variant of :meth:`reduce_skew`, stable across machines;
+        what the Table 3 group sizes predict.
+        """
+        records = [t.input_records for t in self.reduce_tasks]
+        if not records or sum(records) == 0:
+            return 0.0
+        mean = sum(records) / len(records)
+        return max(records) / mean
+
+    # -- simulated wall clock ---------------------------------------------------
+
+    def simulated_seconds(self, cluster: Cluster) -> float:
+        """Wall-clock estimate of this job on the given cluster.
+
+        Broadcast + map makespan + shuffle transfer + reduce makespan.  Map
+        and shuffle overlap in Hadoop; modelling them serially keeps the model
+        simple and conservative, and affects all algorithms identically.
+        """
+        seconds = cluster.broadcast_seconds(self.cache_bytes)
+        seconds += cluster.map_phase_seconds([t.duration_s for t in self.map_tasks])
+        seconds += cluster.shuffle_seconds(self.shuffle_bytes)
+        if self.reduce_tasks:
+            seconds += cluster.reduce_phase_seconds(
+                [t.duration_s for t in self.reduce_tasks]
+            )
+        return seconds

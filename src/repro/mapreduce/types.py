@@ -1,0 +1,52 @@
+"""Record types that flow through the simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ObjectRecord", "InputSplit"]
+
+#: dataset tags, as in the paper's Figure 3/4
+TAG_R = "R"
+TAG_S = "S"
+
+
+@dataclass
+class ObjectRecord:
+    """One data object as serialized between jobs and through the shuffle.
+
+    The first job's mapper fills in ``partition_id`` (the Voronoi cell) and
+    ``pivot_distance`` (``|o, p_o|``); the second job's pruning rules consume
+    them (Algorithm 3 reads the distance as ``k1.dist``).  ``payload`` counts
+    non-coordinate bytes carried by the object (e.g. OSM descriptions) — it
+    affects shuffle cost only.
+    """
+
+    dataset: str  # "R" or "S"
+    object_id: int
+    point: np.ndarray
+    payload: int = 0
+    partition_id: int = -1
+    pivot_distance: float = float("nan")
+
+    def estimated_bytes(self) -> int:
+        """On-the-wire size: tag + id + coords + pid + dist + payload."""
+        return 1 + 8 + int(self.point.nbytes) + 8 + 8 + self.payload
+
+    def is_from_r(self) -> bool:
+        """True when the object belongs to the outer dataset ``R``."""
+        return self.dataset == TAG_R
+
+
+@dataclass
+class InputSplit:
+    """A chunk of job input, the unit handed to one map task."""
+
+    split_id: int
+    records: list = field(default_factory=list)  # list of (key, value) pairs
+    location: int = 0  # node hosting the primary replica (locality hint)
+
+    def __len__(self) -> int:
+        return len(self.records)

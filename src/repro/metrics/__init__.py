@@ -1,0 +1,6 @@
+"""Measurement helpers: size statistics and paper-style report rendering."""
+
+from .report import Series, format_series, format_table
+from .statistics import SizeStats, size_stats
+
+__all__ = ["SizeStats", "size_stats", "Series", "format_series", "format_table"]

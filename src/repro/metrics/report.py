@@ -1,0 +1,60 @@
+"""Plain-text rendering of paper-style tables and figure series."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["format_table", "Series", "format_series"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table (the shape the paper's tables use)."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(widths))))
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One line of a figure: named y values over shared x values."""
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Append the next y value."""
+        self.values.append(float(value))
+
+
+def format_series(
+    title: str, x_label: str, xs: Sequence[object], series: Sequence[Series]
+) -> str:
+    """Render a figure as a table: one row per x, one column per line."""
+    headers = [x_label] + [line.name for line in series]
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x] + [line.values[index] for line in series])
+    return format_table(headers, rows, title=title)

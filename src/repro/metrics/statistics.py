@@ -1,0 +1,40 @@
+"""Descriptive statistics for the paper's tables.
+
+Table 2 reports min/max/avg/dev of *partition* sizes per pivot-selection
+strategy; Table 3 the same for *group* sizes under geometric grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SizeStats", "size_stats"]
+
+
+@dataclass(frozen=True)
+class SizeStats:
+    """min / max / avg / standard deviation of a size distribution."""
+
+    minimum: int
+    maximum: int
+    average: float
+    deviation: float
+
+    def as_row(self) -> list:
+        """Render in Table 2/3 column order."""
+        return [self.minimum, self.maximum, round(self.average, 2), round(self.deviation, 2)]
+
+
+def size_stats(sizes: np.ndarray) -> SizeStats:
+    """Compute the Table 2/3 statistics of a size vector."""
+    sizes = np.asarray(sizes)
+    if sizes.size == 0:
+        raise ValueError("cannot summarize zero sizes")
+    return SizeStats(
+        minimum=int(sizes.min()),
+        maximum=int(sizes.max()),
+        average=float(sizes.mean()),
+        deviation=float(sizes.std()),
+    )

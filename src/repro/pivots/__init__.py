@@ -1,0 +1,42 @@
+"""Pivot selection strategies (paper Section 4.1).
+
+Three strategies are provided, matching the paper: :class:`RandomPivotSelector`
+(best-of-T random sets), :class:`FarthestPivotSelector` (greedy
+max-sum-distance) and :class:`KMeansPivotSelector` (cluster centers of a
+sample).  :func:`get_pivot_selector` resolves the names used in experiment
+configurations ("random" / "farthest" / "kmeans").
+"""
+
+from .base import PivotSelector
+from .farthest_selection import FarthestPivotSelector
+from .kmeans_selection import KMeansPivotSelector
+from .random_selection import RandomPivotSelector
+
+__all__ = [
+    "PivotSelector",
+    "RandomPivotSelector",
+    "FarthestPivotSelector",
+    "KMeansPivotSelector",
+    "get_pivot_selector",
+]
+
+_SELECTORS = {
+    "random": RandomPivotSelector,
+    "farthest": FarthestPivotSelector,
+    "kmeans": KMeansPivotSelector,
+}
+
+
+def get_pivot_selector(name: str, **kwargs) -> PivotSelector:
+    """Instantiate a selector by configuration name.
+
+    >>> get_pivot_selector("random").name
+    'random'
+    """
+    try:
+        selector_cls = _SELECTORS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown pivot selector {name!r}; available: {sorted(_SELECTORS)}"
+        ) from None
+    return selector_cls(**kwargs)

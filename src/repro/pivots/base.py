@@ -1,0 +1,48 @@
+"""Pivot selection interface (paper Section 4.1).
+
+Pivot selection runs in the preprocessing step on the master node, before any
+MapReduce job.  Because the master cannot hold an arbitrarily large ``R``,
+the farthest and k-means strategies operate on a uniform sample; the sample
+size is a selector parameter.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.distance import Metric
+
+__all__ = ["PivotSelector"]
+
+
+class PivotSelector(ABC):
+    """Selects ``M`` pivot points from (a sample of) ``R``."""
+
+    #: identifier used in experiment reports ("random", "farthest", "kmeans")
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(
+        self,
+        dataset: Dataset,
+        num_pivots: int,
+        metric: Metric,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return an ``(M, n)`` array of pivot coordinates.
+
+        Implementations must be deterministic given ``rng`` and must route
+        every distance evaluation through ``metric`` so that pivot-selection
+        work is included in computation selectivity, as the paper measures.
+        """
+
+    def _check(self, dataset: Dataset, num_pivots: int) -> None:
+        if num_pivots < 1:
+            raise ValueError("num_pivots must be >= 1")
+        if num_pivots > len(dataset):
+            raise ValueError(
+                f"cannot select {num_pivots} pivots from {len(dataset)} objects"
+            )

@@ -1,0 +1,56 @@
+"""Random pivot selection.
+
+Paper Section 4.1: draw ``T`` random candidate sets of ``M`` objects from
+``R``; score each set by the total sum of pairwise distances; keep the set
+with the maximum total — spread-out pivots make better Voronoi cells than a
+single uniform draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import Dataset
+from repro.core.distance import Metric
+
+from .base import PivotSelector
+
+__all__ = ["RandomPivotSelector"]
+
+
+class RandomPivotSelector(PivotSelector):
+    """Best-of-T random candidate sets, scored by total pairwise distance.
+
+    Parameters
+    ----------
+    num_candidate_sets:
+        ``T`` in the paper.  Larger T costs ``T * M^2 / 2`` extra distance
+        computations during preprocessing.
+    """
+
+    name = "random"
+
+    def __init__(self, num_candidate_sets: int = 5) -> None:
+        if num_candidate_sets < 1:
+            raise ValueError("num_candidate_sets must be >= 1")
+        self.num_candidate_sets = num_candidate_sets
+
+    def select(
+        self,
+        dataset: Dataset,
+        num_pivots: int,
+        metric: Metric,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        self._check(dataset, num_pivots)
+        best_score = -np.inf
+        best_points: np.ndarray | None = None
+        for _ in range(self.num_candidate_sets):
+            rows = rng.choice(len(dataset), size=num_pivots, replace=False)
+            candidate = dataset.points[np.sort(rows)]
+            score = metric.pairwise_sum(candidate)
+            if score > best_score:
+                best_score = score
+                best_points = candidate
+        assert best_points is not None
+        return best_points.copy()

@@ -1,0 +1,20 @@
+"""R-tree substrate: STR bulk loading, insertion, range and best-first kNN.
+
+Built for the H-BRJ baseline (which indexes each reducer's block of ``S``
+with an R-tree) and usable standalone.
+"""
+
+from .node import InternalNode, LeafNode, Node
+from .rect import Rect
+from .rtree import RTree
+from .str_bulk import build_str_tree, str_pack_leaves
+
+__all__ = [
+    "RTree",
+    "Rect",
+    "LeafNode",
+    "InternalNode",
+    "Node",
+    "build_str_tree",
+    "str_pack_leaves",
+]

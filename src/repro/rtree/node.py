@@ -1,0 +1,60 @@
+"""R-tree nodes.
+
+Leaves hold contiguous point/id arrays (fast vectorised distance scans, the
+way a page-oriented implementation touches whole pages); internal nodes hold
+child nodes.  Every node caches its MBR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rect import Rect
+
+__all__ = ["LeafNode", "InternalNode", "Node"]
+
+
+class LeafNode:
+    """A leaf page: points with their object ids."""
+
+    __slots__ = ("points", "ids", "rect")
+
+    is_leaf = True
+
+    def __init__(self, points: np.ndarray, ids: np.ndarray) -> None:
+        self.points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.ids = np.asarray(ids, dtype=np.int64)
+        if self.points.shape[0] != self.ids.shape[0]:
+            raise ValueError("points and ids must align")
+        self.rect = Rect.of_points(self.points)
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    def refresh_rect(self) -> None:
+        """Recompute the MBR after mutation."""
+        self.rect = Rect.of_points(self.points)
+
+
+class InternalNode:
+    """An internal page: child nodes under one MBR."""
+
+    __slots__ = ("children", "rect")
+
+    is_leaf = False
+
+    def __init__(self, children: list) -> None:
+        if not children:
+            raise ValueError("internal node needs at least one child")
+        self.children = list(children)
+        self.rect = Rect.union_of([child.rect for child in children])
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def refresh_rect(self) -> None:
+        """Recompute the MBR after mutation."""
+        self.rect = Rect.union_of([child.rect for child in self.children])
+
+
+Node = LeafNode | InternalNode

@@ -1,0 +1,68 @@
+"""Sort-Tile-Recursive (STR) bulk loading.
+
+Builds a packed R-tree bottom-up: points are tiled into near-square slabs by
+recursive dimension-wise sorting, producing full leaves with low overlap;
+upper levels pack child nodes the same way by their MBR centers.  This is how
+H-BRJ's per-reducer index over ``S_j`` is constructed (one bulk load per
+reducer, as in the baseline's description).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .node import InternalNode, LeafNode, Node
+
+__all__ = ["str_pack_leaves", "build_str_tree"]
+
+
+def _tile(order_keys: np.ndarray, num_groups: int) -> list[np.ndarray]:
+    """Split sorted row indices into ``num_groups`` contiguous runs."""
+    return np.array_split(order_keys, num_groups)
+
+
+def _str_order(points: np.ndarray, rows: np.ndarray, capacity: int, dim: int) -> list[np.ndarray]:
+    """Recursively tile ``rows`` so each final run holds <= capacity points."""
+    if rows.size <= capacity:
+        return [rows]
+    dims = points.shape[1]
+    pages = math.ceil(rows.size / capacity)
+    # number of slabs along this dimension: pages^(1/remaining_dims)
+    remaining = max(dims - dim, 1)
+    slabs = max(1, math.ceil(pages ** (1.0 / remaining)))
+    order = rows[np.argsort(points[rows, dim % dims], kind="stable")]
+    out: list[np.ndarray] = []
+    for slab in _tile(order, slabs):
+        if slab.size == 0:
+            continue
+        if slabs == 1 or dim + 1 >= dims:
+            # last dimension: cut straight into capacity-sized pages
+            for start in range(0, slab.size, capacity):
+                out.append(slab[start : start + capacity])
+        else:
+            out.extend(_str_order(points, slab, capacity, dim + 1))
+    return out
+
+
+def str_pack_leaves(points: np.ndarray, ids: np.ndarray, capacity: int) -> list[LeafNode]:
+    """Pack points into STR-ordered leaves of at most ``capacity`` entries."""
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    ids = np.asarray(ids, dtype=np.int64)
+    if points.shape[0] == 0:
+        return []
+    runs = _str_order(points, np.arange(points.shape[0]), capacity, dim=0)
+    return [LeafNode(points[run], ids[run]) for run in runs if run.size]
+
+
+def build_str_tree(points: np.ndarray, ids: np.ndarray, capacity: int) -> Node | None:
+    """Bulk-load a full tree; returns the root (None for empty input)."""
+    nodes: list[Node] = list(str_pack_leaves(points, ids, capacity))
+    if not nodes:
+        return None
+    while len(nodes) > 1:
+        centers = np.array([(node.rect.lo + node.rect.hi) / 2.0 for node in nodes])
+        runs = _str_order(centers, np.arange(len(nodes)), capacity, dim=0)
+        nodes = [InternalNode([nodes[i] for i in run]) for run in runs if run.size]
+    return nodes[0]

@@ -1,0 +1,116 @@
+"""Unit tests for the B+-tree substrate."""
+
+import numpy as np
+import pytest
+
+from repro.btree import BPlusTree
+
+
+def filled_tree(n=500, order=8, seed=0, bulk=False):
+    rng = np.random.default_rng(seed)
+    keys = rng.random(n)
+    if bulk:
+        tree = BPlusTree.bulk_load(list(zip(keys, range(n))), order=order)
+    else:
+        tree = BPlusTree(order=order)
+        for value, key in enumerate(keys):
+            tree.insert(key, value)
+    return tree, keys
+
+
+class TestInsertion:
+    def test_size_tracks_inserts(self):
+        tree, _ = filled_tree(100)
+        assert len(tree) == 100
+
+    def test_invariants_after_many_inserts(self):
+        tree, _ = filled_tree(1000, order=4)
+        tree.check_invariants()
+
+    def test_duplicate_keys_kept(self):
+        tree = BPlusTree(order=4)
+        for value in range(10):
+            tree.insert(1.0, value)
+        tree.check_invariants()
+        assert sorted(tree.search(1.0)) == list(range(10))
+
+    def test_ascending_and_descending_insert_orders(self):
+        for order_fn in (lambda n: range(n), lambda n: reversed(range(n))):
+            tree = BPlusTree(order=4)
+            for key in order_fn(200):
+                tree.insert(float(key), key)
+            tree.check_invariants()
+            assert [k for k, _ in tree.items()] == sorted(float(i) for i in range(200))
+
+    def test_order_too_small(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+
+class TestBulkLoad:
+    def test_matches_incremental(self):
+        bulk, keys = filled_tree(300, bulk=True, seed=3)
+        incremental, _ = filled_tree(300, bulk=False, seed=3)
+        bulk.check_invariants()
+        assert [k for k, _ in bulk.items()] == [k for k, _ in incremental.items()]
+
+    def test_empty(self):
+        tree = BPlusTree.bulk_load([], order=4)
+        tree.check_invariants()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_single(self):
+        tree = BPlusTree.bulk_load([(0.5, "x")], order=4)
+        assert tree.search(0.5) == ["x"]
+
+
+class TestSearch:
+    def test_point_lookup(self):
+        tree, keys = filled_tree(200)
+        for index in (0, 50, 199):
+            assert index in tree.search(float(keys[index]))
+
+    def test_missing_key(self):
+        tree, _ = filled_tree(50)
+        assert tree.search(2.0) == []
+
+    def test_range_scan_matches_filter(self):
+        tree, keys = filled_tree(400, seed=5)
+        lo, hi = 0.2, 0.4
+        got = sorted(value for _, value in tree.range_scan(lo, hi))
+        want = sorted(np.flatnonzero((keys >= lo) & (keys <= hi)).tolist())
+        assert got == want
+
+    def test_range_scan_sorted(self):
+        tree, _ = filled_tree(300, seed=7)
+        scanned = [key for key, _ in tree.range_scan(0.1, 0.9)]
+        assert scanned == sorted(scanned)
+
+    def test_empty_range(self):
+        tree, _ = filled_tree(50)
+        assert list(tree.range_scan(0.5, 0.4)) == []
+
+    def test_items_covers_everything(self):
+        tree, keys = filled_tree(250)
+        assert len(list(tree.items())) == 250
+
+
+class TestScanOutward:
+    def test_yields_by_increasing_key_distance(self):
+        tree, keys = filled_tree(300, seed=9)
+        center = 0.5
+        scanned = [key for key, _ in tree.scan_outward(center)]
+        assert len(scanned) == 300
+        deltas = [abs(key - center) for key in scanned]
+        assert deltas == sorted(deltas)
+
+    def test_center_below_all_keys(self):
+        tree, keys = filled_tree(50, seed=11)
+        scanned = [key for key, _ in tree.scan_outward(-10.0)]
+        assert scanned == sorted(keys.tolist())
+
+    def test_center_above_all_keys(self):
+        tree, keys = filled_tree(50, seed=11)
+        scanned = [key for key, _ in tree.scan_outward(10.0)]
+        assert scanned == sorted(keys.tolist(), reverse=True)

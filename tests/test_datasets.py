@@ -1,0 +1,181 @@
+"""Unit tests for workload generators and the x-t expansion procedure."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset
+from repro.datasets import (
+    expand_dataset,
+    frequency_sorted_values,
+    gaussian_mixture_dataset,
+    generate_forest,
+    generate_osm,
+    uniform_dataset,
+)
+from repro.datasets.forest import FOREST_ATTRIBUTES
+
+
+class TestForest:
+    def test_shape_and_integrality(self):
+        data = generate_forest(500, seed=1)
+        assert len(data) == 500
+        assert data.dimensions == 10
+        assert np.allclose(data.points, np.rint(data.points))
+
+    def test_values_within_ranges(self):
+        data = generate_forest(400, seed=2)
+        for dim, (name, (lo, hi), _) in enumerate(FOREST_ATTRIBUTES):
+            assert data.points[:, dim].min() >= lo, name
+            assert data.points[:, dim].max() <= hi, name
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            generate_forest(100, seed=5).points, generate_forest(100, seed=5).points
+        )
+
+    def test_trailing_dims_low_variance(self):
+        """The paper's observation: attributes 7-10 have low variance."""
+        data = generate_forest(2000, seed=3)
+        spans = np.array([hi - lo for _, (lo, hi), _ in FOREST_ATTRIBUTES])
+        rel_std = data.points.std(axis=0) / spans
+        assert rel_std[6:].max() < rel_std[:6].min()
+
+    def test_dims_parameter(self):
+        assert generate_forest(50, dims=4, seed=0).dimensions == 4
+        with pytest.raises(ValueError):
+            generate_forest(50, dims=11)
+
+
+class TestExpansion:
+    def test_frequency_sorted_values(self):
+        column = np.array([3.0, 1.0, 1.0, 2.0, 2.0, 2.0])
+        values, rank = frequency_sorted_values(column)
+        assert values.tolist() == [3.0, 1.0, 2.0]  # ascending frequency
+        assert rank[2.0] == 2
+
+    def test_size_multiplies(self):
+        data = generate_forest(100, seed=1)
+        assert len(expand_dataset(data, 5)) == 500
+
+    def test_times_one_is_identity(self):
+        data = generate_forest(50, seed=1)
+        assert expand_dataset(data, 1) is data
+
+    def test_original_objects_preserved(self):
+        data = generate_forest(80, seed=4)
+        expanded = expand_dataset(data, 3)
+        assert np.array_equal(expanded.points[:80], data.points)
+        assert np.array_equal(expanded.ids[:80], data.ids)
+
+    def test_new_values_come_from_original_domain(self):
+        """The procedure replaces values with *existing* values per dimension."""
+        data = generate_forest(60, seed=5)
+        expanded = expand_dataset(data, 4)
+        for dim in range(data.dimensions):
+            original = set(np.unique(data.points[:, dim]).tolist())
+            new = set(np.unique(expanded.points[:, dim]).tolist())
+            assert new <= original
+
+    def test_copies_shift_by_frequency_rank(self):
+        column = np.array([1.0, 1.0, 2.0, 3.0, 3.0, 3.0])
+        data = Dataset(column.reshape(-1, 1))
+        expanded = expand_dataset(data, 2)
+        values, rank = frequency_sorted_values(column)
+        for row in range(6):
+            original_rank = rank[float(column[row])]
+            shifted = expanded.points[6 + row, 0]
+            expected_rank = min(original_rank + 1, len(values) - 1)
+            assert shifted == values[expected_rank]
+
+    def test_last_value_kept_constant(self):
+        column = np.array([1.0, 2.0, 2.0])  # 2.0 is most frequent = last in list
+        expanded = expand_dataset(Dataset(column.reshape(-1, 1)), 3)
+        # rows whose value is the most-frequent keep it in all copies
+        assert expanded.points[1 + 3, 0] == 2.0
+        assert expanded.points[1 + 6, 0] == 2.0
+
+    def test_distribution_roughly_preserved(self):
+        data = generate_forest(300, seed=6)
+        expanded = expand_dataset(data, 10)
+        for dim in (0, 5, 9):
+            orig_mean = data.points[:, dim].mean()
+            new_mean = expanded.points[:, dim].mean()
+            span = FOREST_ATTRIBUTES[dim][1][1] - FOREST_ATTRIBUTES[dim][1][0]
+            assert abs(orig_mean - new_mean) < 0.1 * span
+
+    def test_unique_ids(self):
+        expanded = expand_dataset(generate_forest(50, seed=7), 6)
+        assert np.unique(expanded.ids).size == len(expanded)
+
+    def test_invalid_times(self):
+        with pytest.raises(ValueError):
+            expand_dataset(generate_forest(10), 0)
+
+
+class TestOsm:
+    def test_shape(self):
+        data = generate_osm(300, seed=1)
+        assert len(data) == 300
+        assert data.dimensions == 2
+
+    def test_payloads_present_and_bounded(self):
+        data = generate_osm(200, seed=2)
+        assert data.payload_bytes is not None
+        assert data.payload_bytes.min() >= 10
+        assert data.payload_bytes.max() <= 500
+
+    def test_payload_disabled(self):
+        assert generate_osm(50, with_payload=False).payload_bytes is None
+
+    def test_clustered_more_than_uniform(self):
+        """City clustering: mean 1-NN distance far below a uniform scatter."""
+        from repro.core import get_metric
+        from repro.core.knn import knn_of_point
+
+        osm = generate_osm(400, seed=3)
+        box = Dataset(
+            np.column_stack(
+                [
+                    np.random.default_rng(0).uniform(-10, 30, 400),
+                    np.random.default_rng(1).uniform(35, 60, 400),
+                ]
+            )
+        )
+        def mean_nn(data):
+            metric = get_metric("l2")
+            total = 0.0
+            for row in range(100):
+                _, dists = knn_of_point(
+                    metric, data.points[row], data.points, data.ids, 2
+                )
+                total += dists[1]  # skip self
+            return total / 100
+
+        assert mean_nn(osm) < 0.75 * mean_nn(box)
+
+    def test_deterministic(self):
+        a, b = generate_osm(100, seed=9), generate_osm(100, seed=9)
+        assert np.array_equal(a.points, b.points)
+        assert np.array_equal(a.payload_bytes, b.payload_bytes)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            generate_osm(10, city_fraction=0.9, road_fraction=0.5)
+
+
+class TestSynthetic:
+    def test_uniform_in_box(self):
+        data = uniform_dataset(200, 4, seed=0, low=-1, high=2)
+        assert data.points.min() >= -1
+        assert data.points.max() <= 2
+
+    def test_gaussian_mixture_shape(self):
+        data = gaussian_mixture_dataset(150, 3, num_clusters=5, seed=1)
+        assert len(data) == 150
+        assert data.dimensions == 3
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            uniform_dataset(0, 2)
+        with pytest.raises(ValueError):
+            gaussian_mixture_dataset(10, 0)

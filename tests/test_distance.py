@@ -1,0 +1,142 @@
+"""Unit tests for the counted metric layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distance import (
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    MinkowskiMetric,
+    get_metric,
+)
+
+
+class TestEuclidean:
+    def test_pair_matches_formula(self):
+        metric = EuclideanMetric()
+        assert metric.distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_zero_distance_to_self(self):
+        metric = EuclideanMetric()
+        point = np.array([1.5, -2.0, 7.0])
+        assert metric.distance(point, point) == 0.0
+
+    def test_one_to_many_matches_pairs(self):
+        metric = EuclideanMetric()
+        rng = np.random.default_rng(0)
+        a = rng.random(4)
+        bs = rng.random((10, 4))
+        batch = metric.distances(a, bs)
+        singles = [EuclideanMetric().distance(a, b) for b in bs]
+        assert np.allclose(batch, singles)
+
+
+class TestOtherMetrics:
+    def test_manhattan(self):
+        metric = ManhattanMetric()
+        assert metric.distance([0, 0], [3, 4]) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        metric = ChebyshevMetric()
+        assert metric.distance([0, 0], [3, 4]) == pytest.approx(4.0)
+
+    def test_minkowski_p3(self):
+        metric = MinkowskiMetric(3)
+        expected = (3**3 + 4**3) ** (1 / 3)
+        assert metric.distance([0, 0], [3, 4]) == pytest.approx(expected)
+
+    def test_minkowski_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            MinkowskiMetric(0.5)
+
+    def test_minkowski_p1_equals_manhattan(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.random(5), rng.random(5)
+        assert MinkowskiMetric(1).distance(a, b) == pytest.approx(
+            ManhattanMetric().distance(a, b)
+        )
+
+
+class TestCounting:
+    def test_single_pair_counts_one(self):
+        metric = EuclideanMetric()
+        metric.distance([0.0], [1.0])
+        assert metric.pairs_computed == 1
+
+    def test_batch_counts_rows(self):
+        metric = EuclideanMetric()
+        metric.distances(np.zeros(2), np.ones((7, 2)))
+        assert metric.pairs_computed == 7
+
+    def test_cross_counts_product(self):
+        metric = EuclideanMetric()
+        metric.cross_distances(np.zeros((3, 2)), np.ones((5, 2)))
+        assert metric.pairs_computed == 15
+
+    def test_pairwise_sum_counts_combinations(self):
+        metric = EuclideanMetric()
+        metric.pairwise_sum(np.random.default_rng(0).random((6, 2)))
+        assert metric.pairs_computed == 15  # C(6, 2)
+
+    def test_uncounted_variants_do_not_count(self):
+        metric = EuclideanMetric()
+        metric.uncounted_distance([0.0], [1.0])
+        metric.uncounted_distances(np.zeros(2), np.ones((4, 2)))
+        assert metric.pairs_computed == 0
+
+    def test_reset(self):
+        metric = EuclideanMetric()
+        metric.distance([0.0], [1.0])
+        metric.reset_counter()
+        assert metric.pairs_computed == 0
+
+    def test_empty_batch(self):
+        metric = EuclideanMetric()
+        out = metric.distances(np.zeros(2), np.empty((0, 2)))
+        assert out.size == 0
+        assert metric.pairs_computed == 0
+
+
+class TestPairwiseSumValue:
+    def test_matches_direct_double_loop(self):
+        metric = EuclideanMetric()
+        points = np.random.default_rng(2).random((8, 3))
+        total = metric.pairwise_sum(points)
+        expected = sum(
+            math.dist(points[i], points[j])
+            for i in range(8)
+            for j in range(i + 1, 8)
+        )
+        assert total == pytest.approx(expected)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("l2", EuclideanMetric),
+            ("euclidean", EuclideanMetric),
+            ("l1", ManhattanMetric),
+            ("manhattan", ManhattanMetric),
+            ("linf", ChebyshevMetric),
+            ("maximum", ChebyshevMetric),
+        ],
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(get_metric(name), cls)
+
+    def test_fresh_counter_each_time(self):
+        first = get_metric("l2")
+        first.distance([0.0], [1.0])
+        assert get_metric("l2").pairs_computed == 0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            get_metric("cosine")
+
+    def test_rejects_non_2d_batch(self):
+        with pytest.raises(ValueError):
+            get_metric("l2").distances(np.zeros(2), np.zeros(2))

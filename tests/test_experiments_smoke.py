@@ -1,0 +1,88 @@
+"""Smoke tests: every experiment function runs at tiny scale and is well-formed.
+
+These guard the ~600 lines of sweep logic in ``repro.bench.experiments``
+without paying full bench cost; shape assertions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench import (
+    ablation_cost_model_experiment,
+    ablation_pruning_experiment,
+    dimensionality_experiment,
+    effect_of_k_experiment,
+    fig6_fig7_experiment,
+    scalability_experiment,
+    speedup_experiment,
+    table2_experiment,
+    table3_experiment,
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+
+
+def check(record, exhibit):
+    assert record.exhibit == exhibit
+    assert record.text
+    assert record.data
+    record.show()
+
+
+def test_table2():
+    check(table2_experiment(), "table2")
+
+
+def test_table3():
+    check(table3_experiment(), "table3")
+
+
+def test_fig6_fig7():
+    fig6, fig7 = fig6_fig7_experiment()
+    check(fig6, "fig6")
+    check(fig7, "fig7")
+    assert set(fig6.data) == {"RGE", "RGR", "KGE", "KGR"}
+
+
+def test_fig8():
+    record = effect_of_k_experiment("forest", ks=(2, 4))
+    check(record, "fig8")
+    assert set(record.data) == {"H-BRJ", "PBJ", "PGBJ"}
+
+
+def test_fig9():
+    check(effect_of_k_experiment("osm", ks=(2, 4)), "fig9")
+
+
+def test_fig8_unknown_dataset_rejected():
+    with pytest.raises(ValueError, match="unknown dataset"):
+        effect_of_k_experiment("mnist")
+
+
+def test_fig10():
+    record = dimensionality_experiment(dims=(2, 5))
+    check(record, "fig10")
+
+
+def test_fig11():
+    record = scalability_experiment(times=(1, 3))
+    check(record, "fig11")
+    assert record.params["times"] == [1, 3]
+
+
+def test_fig12():
+    record = speedup_experiment(nodes=(4, 9))
+    check(record, "fig12")
+
+
+def test_ablation_pruning():
+    record = ablation_pruning_experiment()
+    check(record, "ablation_pruning")
+    assert "both on (paper)" in record.data
+
+
+def test_ablation_cost_model():
+    record = ablation_cost_model_experiment()
+    check(record, "ablation_cost_model")

@@ -1,0 +1,87 @@
+"""Unit tests for the hyperplane and ring pruning geometry (Theorems 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import (
+    hyperplane_distance,
+    partition_pruned_by_hyperplane,
+    ring_bounds,
+    ring_slice,
+)
+
+
+class TestHyperplaneDistance:
+    def test_midpoint_has_zero_distance(self):
+        # q equidistant from both pivots sits on the hyperplane
+        assert hyperplane_distance(5.0, 5.0, 4.0) == pytest.approx(0.0)
+
+    def test_matches_2d_geometry(self):
+        # pivots at (0,0) and (4,0): hyperplane x=2; q=(1, 1) in cell of p_i
+        pi, pj, q = np.zeros(2), np.array([4.0, 0.0]), np.array([1.0, 1.0])
+        d_qi = np.linalg.norm(q - pi)
+        d_qj = np.linalg.norm(q - pj)
+        expected = 2.0 - 1.0  # distance from x=1 to x=2
+        assert hyperplane_distance(d_qi, d_qj, 4.0) == pytest.approx(expected)
+
+    def test_coincident_pivots_yield_zero(self):
+        assert hyperplane_distance(1.0, 1.0, 0.0) == 0.0
+
+    def test_lower_bounds_distance_to_other_cell(self):
+        # Theorem 1 consequence: d(q, HP) <= |q, o| for any o in the other cell
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            pi, pj = rng.random(3), rng.random(3)
+            q = pi + 0.1 * rng.random(3)  # near p_i
+            o = pj + 0.1 * rng.random(3)  # near p_j
+            if np.linalg.norm(q - pi) > np.linalg.norm(q - pj):
+                continue  # q not in cell i
+            if np.linalg.norm(o - pj) > np.linalg.norm(o - pi):
+                continue  # o not in cell j
+            d_hp = hyperplane_distance(
+                np.linalg.norm(q - pi), np.linalg.norm(q - pj), np.linalg.norm(pi - pj)
+            )
+            assert d_hp <= np.linalg.norm(q - o) + 1e-9
+
+
+class TestCorollary1:
+    def test_prunes_when_beyond_theta(self):
+        assert partition_pruned_by_hyperplane(1.0, 10.0, 5.0, theta=2.0)
+
+    def test_keeps_when_within_theta(self):
+        assert not partition_pruned_by_hyperplane(1.0, 10.0, 5.0, theta=50.0)
+
+    def test_never_prunes_own_side_tie(self):
+        assert not partition_pruned_by_hyperplane(3.0, 3.0, 2.0, theta=0.0)
+
+
+class TestRing:
+    def test_bounds_combine_summary_and_query(self):
+        lo, hi = ring_bounds(lower=1.0, upper=9.0, dist_q_pj=5.0, theta=2.0)
+        assert lo == pytest.approx(3.0, abs=1e-6)
+        assert hi == pytest.approx(7.0, abs=1e-6)
+
+    def test_summary_bounds_clip(self):
+        lo, hi = ring_bounds(lower=4.0, upper=6.0, dist_q_pj=5.0, theta=10.0)
+        assert lo == pytest.approx(4.0, abs=1e-6)
+        assert hi == pytest.approx(6.0, abs=1e-6)
+
+    def test_empty_ring(self):
+        start, stop = ring_slice(np.array([1.0, 2.0, 3.0]), 1.0, 3.0, 10.0, 0.5)
+        assert start == stop
+
+    def test_slice_selects_contiguous_range(self):
+        dists = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        start, stop = ring_slice(dists, 1.0, 5.0, dist_q_pj=3.0, theta=1.0)
+        assert (start, stop) == (1, 4)  # values 2, 3, 4
+
+    def test_slice_never_loses_qualifying_objects(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            dists = np.sort(rng.random(20) * 10)
+            q, theta = rng.random() * 10, rng.random() * 3
+            start, stop = ring_slice(dists, dists[0], dists[-1], q, theta)
+            qualifying = np.flatnonzero(np.abs(dists - q) <= theta)
+            if qualifying.size:
+                assert start <= qualifying[0]
+                assert stop > qualifying[-1]

@@ -1,0 +1,102 @@
+"""Unit tests for the Gorder centralized join (paper ref [17])."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_metric
+from repro.core.knn import brute_force_knn_join
+from repro.datasets import generate_forest
+from repro.gorder import GorderKnnJoin, PcaTransform
+
+
+class TestPca:
+    def test_components_are_orthonormal(self):
+        points = np.random.default_rng(0).random((200, 5))
+        pca = PcaTransform.fit(points)
+        gram = pca.components @ pca.components.T
+        assert np.allclose(gram, np.eye(5), atol=1e-9)
+
+    def test_variances_descending(self):
+        rng = np.random.default_rng(1)
+        # anisotropic cloud: one stretched direction
+        points = rng.normal(0, 1, (500, 4)) * np.array([10.0, 3.0, 1.0, 0.1])
+        pca = PcaTransform.fit(points)
+        assert all(a >= b for a, b in zip(pca.variances, pca.variances[1:]))
+        assert pca.variances[0] > 50  # the stretched axis dominates
+
+    def test_rotation_preserves_distances(self):
+        rng = np.random.default_rng(2)
+        points = rng.random((100, 3))
+        pca = PcaTransform.fit(points)
+        rotated = pca.transform(points)
+        for _ in range(20):
+            i, j = rng.integers(0, 100, 2)
+            original = np.linalg.norm(points[i] - points[j])
+            transformed = np.linalg.norm(rotated[i] - rotated[j])
+            assert original == pytest.approx(transformed)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PcaTransform.fit(np.empty((0, 3)))
+
+
+class TestGorderJoin:
+    def join(self, r_points, r_ids, s_points, s_ids, k, **kwargs):
+        metric = get_metric("l2")
+        gorder = GorderKnnJoin(metric, **kwargs)
+        return gorder.run(r_points, r_ids, s_points, s_ids, k), metric
+
+    def test_matches_brute_force_uniform(self):
+        rng = np.random.default_rng(3)
+        r, s = rng.random((120, 3)), rng.random((150, 3))
+        r_ids, s_ids = np.arange(120), np.arange(1000, 1150)
+        got, _ = self.join(r, r_ids, s, s_ids, 5)
+        want = brute_force_knn_join(get_metric("l2"), r, r_ids, s, s_ids, 5)
+        for r_id in want:
+            assert np.allclose(got[r_id][1], want[r_id][1])
+
+    def test_matches_brute_force_clustered_with_ties(self):
+        data = generate_forest(250, seed=4)
+        got, _ = self.join(data.points, data.ids, data.points, data.ids, 4)
+        want = brute_force_knn_join(
+            get_metric("l2"), data.points, data.ids, data.points, data.ids, 4
+        )
+        for r_id in want:
+            assert np.allclose(got[r_id][1], want[r_id][1])
+
+    def test_block_size_does_not_change_results(self):
+        rng = np.random.default_rng(5)
+        points = rng.random((100, 2))
+        ids = np.arange(100)
+        small, _ = self.join(points, ids, points, ids, 3, block_size=8)
+        large, _ = self.join(points, ids, points, ids, 3, block_size=64)
+        for r_id in small:
+            assert np.allclose(small[r_id][1], large[r_id][1])
+
+    def test_pruning_beats_naive_on_clustered_data(self):
+        data = generate_forest(600, seed=6)
+        _, metric = self.join(data.points, data.ids, data.points, data.ids, 5)
+        naive_pairs = len(data) * len(data)
+        assert metric.pairs_computed < 0.7 * naive_pairs
+
+    def test_rejects_non_l2(self):
+        with pytest.raises(ValueError, match="L2"):
+            GorderKnnJoin(get_metric("l1"))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GorderKnnJoin(get_metric("l2"), segments_per_dim=0)
+        with pytest.raises(ValueError):
+            GorderKnnJoin(get_metric("l2"), block_size=0)
+        gorder = GorderKnnJoin(get_metric("l2"))
+        with pytest.raises(ValueError):
+            gorder.run(np.empty((0, 2)), np.empty(0), np.ones((2, 2)), np.arange(2), 1)
+        with pytest.raises(ValueError):
+            gorder.run(np.ones((2, 2)), np.arange(2), np.ones((2, 2)), np.arange(2), 0)
+
+    def test_k_larger_than_s(self):
+        rng = np.random.default_rng(7)
+        r = rng.random((20, 2))
+        s = rng.random((4, 2))
+        got, _ = self.join(r, np.arange(20), s, np.arange(100, 104), 9)
+        assert all(ids.size == 4 for ids, _ in got.values())

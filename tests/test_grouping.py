@@ -1,0 +1,118 @@
+"""Unit tests for geometric and greedy grouping (Algorithm 4, Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset, VoronoiPartitioner, get_metric
+from repro.core.bounds import compute_lb_matrix, compute_thetas
+from repro.core.summary import build_partial_summary
+from repro.grouping import (
+    GeometricGrouping,
+    GreedyGrouping,
+    GroupAssignment,
+    get_grouping_strategy,
+)
+
+
+def grouped_world(seed=0, num_objects=400, num_pivots=24, k=3):
+    rng = np.random.default_rng(seed)
+    data = Dataset(rng.random((num_objects, 3)))
+    metric = get_metric("l2")
+    pivots = data.points[rng.choice(num_objects, num_pivots, replace=False)]
+    partitioner = VoronoiPartitioner(pivots, metric)
+    assignment = partitioner.assign(data)
+    tr = build_partial_summary(assignment.partition_ids, assignment.pivot_distances, 0)
+    ts = build_partial_summary(assignment.partition_ids, assignment.pivot_distances, k)
+    pdm = partitioner.pivot_distance_matrix()
+    thetas = compute_thetas(tr, ts, pdm, k)
+    lb = compute_lb_matrix(tr, pdm, thetas)
+    return tr, ts, pdm, lb
+
+
+class TestGroupAssignment:
+    def test_reverse_map(self):
+        assignment = GroupAssignment.from_groups([[1, 3], [2]])
+        assert assignment.group_of(3) == 0
+        assert assignment.group_of(2) == 1
+        assert assignment.num_groups == 2
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError, match="two groups"):
+            GroupAssignment.from_groups([[1], [1]])
+
+    def test_validate_covers(self):
+        assignment = GroupAssignment.from_groups([[1], [2]])
+        assignment.validate_covers([1, 2])
+        with pytest.raises(ValueError):
+            assignment.validate_covers([1, 2, 3])
+
+
+@pytest.mark.parametrize("strategy_name", ["geometric", "greedy"])
+class TestBothStrategies:
+    def test_partition_of_r_into_disjoint_groups(self, strategy_name):
+        tr, ts, pdm, lb = grouped_world()
+        strategy = get_grouping_strategy(strategy_name)
+        assignment = strategy.group(tr, ts, pdm, lb, num_groups=5)
+        assert assignment.num_groups == 5
+        grouped = sorted(pid for group in assignment.groups for pid in group)
+        assert grouped == tr.partition_ids()
+
+    def test_every_group_non_empty(self, strategy_name):
+        tr, ts, pdm, lb = grouped_world()
+        assignment = get_grouping_strategy(strategy_name).group(tr, ts, pdm, lb, 5)
+        assert all(group for group in assignment.groups)
+
+    def test_single_group(self, strategy_name):
+        tr, ts, pdm, lb = grouped_world()
+        assignment = get_grouping_strategy(strategy_name).group(tr, ts, pdm, lb, 1)
+        assert assignment.num_groups == 1
+        assert sorted(assignment.groups[0]) == tr.partition_ids()
+
+    def test_more_groups_than_partitions(self, strategy_name):
+        tr, ts, pdm, lb = grouped_world(num_pivots=4)
+        assignment = get_grouping_strategy(strategy_name).group(tr, ts, pdm, lb, 10)
+        non_empty = [g for g in assignment.groups if g]
+        assert len(non_empty) == len(tr.partition_ids())
+        assert all(len(g) == 1 for g in non_empty)
+
+    def test_deterministic(self, strategy_name):
+        tr, ts, pdm, lb = grouped_world(seed=9)
+        a = get_grouping_strategy(strategy_name).group(tr, ts, pdm, lb, 6)
+        b = get_grouping_strategy(strategy_name).group(tr, ts, pdm, lb, 6)
+        assert a.groups == b.groups
+
+
+class TestGeometricBalancing:
+    def test_group_sizes_nearly_equal(self):
+        """Table 3's shape: geometric grouping balances object counts."""
+        tr, ts, pdm, lb = grouped_world(num_objects=1000, num_pivots=40)
+        assignment = GeometricGrouping().group(tr, ts, pdm, lb, 8)
+        sizes = assignment.group_sizes(tr)
+        assert sizes.std() / sizes.mean() < 0.35
+
+    def test_seeds_are_far_apart(self):
+        tr, ts, pdm, lb = grouped_world(num_objects=600, num_pivots=30)
+        assignment = GeometricGrouping().group(tr, ts, pdm, lb, 4)
+        seeds = [group[0] for group in assignment.groups]
+        for i in range(len(seeds)):
+            for j in range(i + 1, len(seeds)):
+                assert pdm[seeds[i], seeds[j]] > 0
+
+
+class TestGreedyReplication:
+    def test_greedy_replicates_no_more_than_geometric(self):
+        """Figure 7(b)'s shape: greedy grouping trims estimated replication."""
+        from repro.core.bounds import group_lb_matrix
+        from repro.grouping.cost_model import approx_replication
+
+        tr, ts, pdm, lb = grouped_world(num_objects=1200, num_pivots=48, seed=11)
+        reps = {}
+        for strategy in (GeometricGrouping(), GreedyGrouping()):
+            assignment = strategy.group(tr, ts, pdm, lb, 6)
+            lbg = group_lb_matrix(lb, assignment.groups)
+            reps[strategy.name] = approx_replication(lbg, ts)
+        assert reps["greedy"] <= reps["geometric"] * 1.05
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown grouping"):
+            get_grouping_strategy("spectral")

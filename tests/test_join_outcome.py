@@ -1,0 +1,109 @@
+"""Unit tests for JoinOutcome accounting and configuration validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import KnnJoinResult
+from repro.joins.base import (
+    PAIRS_GROUP,
+    PAIRS_NAME,
+    REPLICA_GROUP,
+    REPLICA_NAME,
+    BlockJoinConfig,
+    JoinConfig,
+    JoinOutcome,
+    PgbjConfig,
+)
+from repro.mapreduce import Cluster
+from repro.mapreduce.stats import JobStats, TaskStat
+
+
+def make_outcome(r_size=100, s_size=200):
+    result = KnnJoinResult(2)
+    stats_a = JobStats(job_name="one")
+    stats_a.shuffle_bytes = 1000
+    stats_a.shuffle_records = 10
+    stats_a.map_tasks.append(TaskStat("m0", "map", 0.5, 1, 1))
+    stats_b = JobStats(job_name="two")
+    stats_b.shuffle_bytes = 500
+    stats_b.shuffle_records = 5
+    stats_b.reduce_tasks.append(TaskStat("r0", "reduce", 1.0, 1, 1))
+    outcome = JoinOutcome(
+        algorithm="demo",
+        result=result,
+        r_size=r_size,
+        s_size=s_size,
+        k=2,
+        master_phases={"pivot_selection": 0.25},
+        job_stats=[stats_a, stats_b],
+        job_phase_names=["partitioning", "join"],
+        master_distance_pairs=40,
+    )
+    outcome.counters.incr(PAIRS_GROUP, PAIRS_NAME, 160)
+    outcome.counters.incr(REPLICA_GROUP, REPLICA_NAME, 300)
+    return outcome
+
+
+class TestMeasurements:
+    def test_distance_pairs_adds_master_and_jobs(self):
+        assert make_outcome().distance_pairs == 200
+
+    def test_selectivity(self):
+        assert make_outcome().selectivity() == pytest.approx(200 / 20_000)
+
+    def test_shuffle_totals(self):
+        outcome = make_outcome()
+        assert outcome.shuffle_bytes() == 1500
+        assert outcome.shuffle_records() == 15
+
+    def test_replication(self):
+        outcome = make_outcome()
+        assert outcome.replication_of_s() == 300
+        assert outcome.avg_replication_of_s() == pytest.approx(1.5)
+
+    def test_simulated_seconds_includes_master_phases(self):
+        outcome = make_outcome()
+        cluster = Cluster(num_nodes=4)
+        job_time = sum(s.simulated_seconds(cluster) for s in outcome.job_stats)
+        assert outcome.simulated_seconds(cluster) == pytest.approx(0.25 + job_time)
+
+    def test_phase_seconds_merges_master_and_jobs(self):
+        outcome = make_outcome()
+        phases = outcome.phase_seconds(Cluster(num_nodes=4))
+        assert set(phases) == {"pivot_selection", "partitioning", "join"}
+        assert phases["pivot_selection"] == 0.25
+
+    def test_more_nodes_not_slower(self):
+        outcome = make_outcome()
+        slow = outcome.simulated_seconds(Cluster(num_nodes=1))
+        fast = outcome.simulated_seconds(Cluster(num_nodes=16))
+        assert fast <= slow
+
+
+class TestConfigValidation:
+    def test_k_positive(self):
+        with pytest.raises(ValueError):
+            JoinConfig(k=0)
+
+    def test_reducers_positive(self):
+        with pytest.raises(ValueError):
+            JoinConfig(num_reducers=0)
+
+    def test_split_size_positive(self):
+        with pytest.raises(ValueError):
+            JoinConfig(split_size=0)
+
+    def test_pgbj_pivots_positive(self):
+        with pytest.raises(ValueError):
+            PgbjConfig(num_pivots=0)
+
+    def test_with_changes_copies(self):
+        base = PgbjConfig(k=10, num_pivots=32)
+        changed = base.with_changes(k=20)
+        assert changed.k == 20
+        assert changed.num_pivots == 32
+        assert base.k == 10
+
+    def test_block_config_num_blocks(self):
+        assert BlockJoinConfig(num_reducers=16).num_blocks == 4
+        assert BlockJoinConfig(num_reducers=2).num_blocks == 1

@@ -1,0 +1,139 @@
+"""Unit tests for the Algorithm 3 reducer kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset, VoronoiPartitioner, get_metric
+from repro.core.bounds import compute_thetas
+from repro.core.knn import brute_force_knn_join
+from repro.core.summary import build_partial_summary
+from repro.joins.kernels import (
+    build_r_blocks,
+    build_s_blocks,
+    knn_join_kernel,
+    local_ring_stats,
+    local_theta,
+)
+from repro.mapreduce.types import ObjectRecord
+
+
+def records_for(dataset, tag, assignment):
+    return [
+        ObjectRecord(
+            dataset=tag,
+            object_id=int(dataset.ids[row]),
+            point=dataset.points[row],
+            partition_id=int(assignment.partition_ids[row]),
+            pivot_distance=float(assignment.pivot_distances[row]),
+        )
+        for row in range(len(dataset))
+    ]
+
+
+def kernel_world(seed=0, num_r=60, num_s=80, num_pivots=6, k=4):
+    """Everything one 'reducer' would hold if a single group got all data."""
+    rng = np.random.default_rng(seed)
+    r = Dataset(rng.random((num_r, 3)), name="r")
+    s = Dataset(rng.random((num_s, 3)), ids=np.arange(1000, 1000 + num_s), name="s")
+    metric = get_metric("l2")
+    pivots = rng.random((num_pivots, 3))
+    partitioner = VoronoiPartitioner(pivots, metric)
+    ar, as_ = partitioner.assign(r), partitioner.assign(s)
+    tr = build_partial_summary(ar.partition_ids, ar.pivot_distances, 0)
+    ts = build_partial_summary(as_.partition_ids, as_.pivot_distances, k)
+    pdm = partitioner.pivot_distance_matrix()
+    if k <= num_s:
+        thetas = compute_thetas(tr, ts, pdm, k)
+    else:
+        thetas = {pid: np.inf for pid in tr.partition_ids()}
+    ring = {pid: (ts.get(pid).lower, ts.get(pid).upper) for pid in ts.partition_ids()}
+    r_blocks = build_r_blocks(records_for(r, "R", ar))
+    s_blocks = build_s_blocks(records_for(s, "S", as_))
+    return r, s, r_blocks, s_blocks, thetas, ring, pivots, pdm, k
+
+
+class TestBlocks:
+    def test_r_blocks_partition_objects(self):
+        _, _, r_blocks, _, _, _, _, _, _ = kernel_world()
+        total = sum(block.ids.size for block in r_blocks.values())
+        assert total == 60
+
+    def test_s_blocks_sorted_by_pivot_distance(self):
+        _, _, _, s_blocks, _, _, _, _, _ = kernel_world()
+        for block in s_blocks.values():
+            assert np.all(np.diff(block.pivot_dists) >= 0)
+
+    def test_local_ring_stats_are_extremes(self):
+        _, _, _, s_blocks, _, _, _, _, _ = kernel_world()
+        stats = local_ring_stats(s_blocks)
+        for pid, (lo, hi) in stats.items():
+            assert lo == s_blocks[pid].pivot_dists[0]
+            assert hi == s_blocks[pid].pivot_dists[-1]
+
+
+class TestKernelCorrectness:
+    @pytest.mark.parametrize("flags", [(True, True), (True, False), (False, True), (False, False)])
+    def test_matches_brute_force_under_all_pruning_flags(self, flags):
+        use_hp, use_ring = flags
+        r, s, r_blocks, s_blocks, thetas, ring, pivots, pdm, k = kernel_world(seed=3)
+        metric = get_metric("l2")
+        results = dict()
+        for r_id, ids, dists in knn_join_kernel(
+            metric, k, r_blocks, s_blocks, thetas, ring, pivots, pdm,
+            use_hyperplane_pruning=use_hp, use_ring_pruning=use_ring,
+        ):
+            results[r_id] = (ids, dists)
+        truth = brute_force_knn_join(
+            get_metric("l2"), r.points, r.ids, s.points, s.ids, k
+        )
+        assert set(results) == set(truth)
+        for r_id in truth:
+            assert np.allclose(results[r_id][1], truth[r_id][1])
+
+    def test_pruning_reduces_distance_computations(self):
+        r, s, r_blocks, s_blocks, thetas, ring, pivots, pdm, k = kernel_world(
+            seed=5, num_r=100, num_s=150, num_pivots=12
+        )
+        costs = {}
+        for use_pruning in (True, False):
+            metric = get_metric("l2")
+            list(
+                knn_join_kernel(
+                    metric, k, r_blocks, s_blocks, thetas, ring, pivots, pdm,
+                    use_hyperplane_pruning=use_pruning, use_ring_pruning=use_pruning,
+                )
+            )
+            costs[use_pruning] = metric.pairs_computed
+        assert costs[True] < costs[False]
+
+    def test_empty_s_blocks_rejected(self):
+        r, s, r_blocks, _, thetas, ring, pivots, pdm, k = kernel_world()
+        with pytest.raises(ValueError, match="no S objects"):
+            list(knn_join_kernel(get_metric("l2"), k, r_blocks, {}, thetas, ring, pivots, pdm))
+
+
+class TestLocalTheta:
+    def test_infinite_when_too_few_objects(self):
+        _, _, _, s_blocks, _, _, _, pdm, _ = kernel_world(num_s=3, k=2)
+        total = sum(len(b) for b in s_blocks.values())
+        theta = local_theta(1.0, pdm[0], s_blocks, k=total + 1)
+        assert theta == np.inf
+
+    def test_finite_and_valid_bound(self):
+        """Local theta >= true kth NN distance of every local r."""
+        r, s, r_blocks, s_blocks, _, _, _, pdm, k = kernel_world(seed=8)
+        for pid, block in r_blocks.items():
+            theta = local_theta(block.local_upper(), pdm[pid], s_blocks, k)
+            for row in range(block.ids.size):
+                dists = np.sort(np.linalg.norm(s.points - block.points[row], axis=1))
+                assert dists[k - 1] <= theta + 1e-9
+
+    def test_partial_results_with_infinite_theta(self):
+        """With theta=inf the kernel still returns all available candidates."""
+        r, s, r_blocks, s_blocks, _, ring, pivots, pdm, _ = kernel_world(num_s=3, k=5)
+        k = 5  # more than |S|
+        thetas = {pid: np.inf for pid in r_blocks}
+        out = list(
+            knn_join_kernel(get_metric("l2"), k, r_blocks, s_blocks, thetas, ring, pivots, pdm)
+        )
+        assert all(ids.size == 3 for _, ids, _ in out)

@@ -1,0 +1,98 @@
+"""Unit tests for the exact kNN primitives and the k-best list."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_metric
+from repro.core.knn import KBestList, brute_force_knn_join, knn_of_point
+
+
+class TestKBestList:
+    def test_keeps_k_smallest(self):
+        kbest = KBestList(3)
+        kbest.update(np.array([5.0, 1.0, 3.0, 2.0]), np.array([50, 10, 30, 20]))
+        ids, dists = kbest.as_arrays()
+        assert dists.tolist() == [1.0, 2.0, 3.0]
+        assert ids.tolist() == [10, 20, 30]
+
+    def test_incremental_updates_match_batch(self):
+        rng = np.random.default_rng(0)
+        dists = rng.random(50)
+        ids = np.arange(50)
+        batch = KBestList(7)
+        batch.update(dists, ids)
+        incremental = KBestList(7)
+        for start in range(0, 50, 9):
+            incremental.update(dists[start : start + 9], ids[start : start + 9])
+        assert np.array_equal(batch.as_arrays()[0], incremental.as_arrays()[0])
+
+    def test_theta_inf_until_full(self):
+        kbest = KBestList(3)
+        kbest.update(np.array([1.0]), np.array([1]))
+        assert kbest.theta == np.inf
+        assert not kbest.is_full()
+        kbest.update(np.array([2.0, 3.0]), np.array([2, 3]))
+        assert kbest.theta == 3.0
+        assert kbest.is_full()
+
+    def test_tie_break_by_id(self):
+        kbest = KBestList(2)
+        kbest.update(np.array([1.0, 1.0, 1.0]), np.array([30, 10, 20]))
+        ids, _ = kbest.as_arrays()
+        assert ids.tolist() == [10, 20]
+
+    def test_empty_update_is_noop(self):
+        kbest = KBestList(2)
+        kbest.update(np.empty(0), np.empty(0, dtype=int))
+        assert kbest.as_arrays()[0].size == 0
+
+    def test_misaligned_update_rejected(self):
+        with pytest.raises(ValueError):
+            KBestList(2).update(np.array([1.0]), np.array([1, 2]))
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            KBestList(0)
+
+
+class TestKnnOfPoint:
+    def test_finds_nearest(self):
+        metric = get_metric("l2")
+        points = np.array([[0.0], [1.0], [2.0], [3.0]])
+        ids, dists = knn_of_point(metric, np.array([1.4]), points, np.arange(4), 2)
+        assert ids.tolist() == [1, 2]
+        assert dists[0] == pytest.approx(0.4)
+
+    def test_k_larger_than_data(self):
+        metric = get_metric("l2")
+        points = np.array([[0.0], [1.0]])
+        ids, dists = knn_of_point(metric, np.array([0.0]), points, np.arange(2), 5)
+        assert ids.size == 2
+
+
+class TestBruteForceJoin:
+    def test_self_join_excludes_nothing(self):
+        """Self-join: each object's 1-NN is itself at distance 0."""
+        metric = get_metric("l2")
+        points = np.random.default_rng(0).random((20, 2))
+        ids = np.arange(20)
+        result = brute_force_knn_join(metric, points, ids, points, ids, 1)
+        for object_id in ids:
+            neighbor_ids, dists = result[object_id]
+            assert neighbor_ids[0] == object_id
+            assert dists[0] == 0.0
+
+    def test_cardinality(self):
+        metric = get_metric("l2")
+        rng = np.random.default_rng(1)
+        r, s = rng.random((15, 3)), rng.random((25, 3))
+        result = brute_force_knn_join(metric, r, np.arange(15), s, np.arange(25), 4)
+        assert len(result) == 15
+        assert all(ids.size == 4 for ids, _ in result.values())
+
+    def test_counts_all_pairs(self):
+        metric = get_metric("l2")
+        rng = np.random.default_rng(2)
+        r, s = rng.random((10, 2)), rng.random((12, 2))
+        brute_force_knn_join(metric, r, np.arange(10), s, np.arange(12), 3)
+        assert metric.pairs_computed == 120

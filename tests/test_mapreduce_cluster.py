@@ -1,0 +1,96 @@
+"""Unit tests for the cluster scheduling / running-time model."""
+
+import pytest
+
+from repro.mapreduce import Cluster, schedule_makespan
+from repro.mapreduce.stats import JobStats, TaskStat
+
+
+class TestScheduler:
+    def test_single_slot_serializes(self):
+        assert schedule_makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_enough_slots_parallelize(self):
+        assert schedule_makespan([1.0, 2.0, 3.0], 3) == 3.0
+
+    def test_waves(self):
+        # 4 unit tasks on 2 slots: two waves
+        assert schedule_makespan([1.0] * 4, 2) == 2.0
+
+    def test_greedy_fifo_order(self):
+        # FIFO: [3, 1, 1, 1] on 2 slots -> slot A: 3; slot B: 1+1+1 -> 3
+        assert schedule_makespan([3.0, 1.0, 1.0, 1.0], 2) == 3.0
+
+    def test_empty(self):
+        assert schedule_makespan([], 5) == 0.0
+
+    def test_never_below_critical_path(self):
+        durations = [0.5, 4.0, 0.25, 1.0]
+        for slots in (1, 2, 3, 8):
+            makespan = schedule_makespan(durations, slots)
+            assert makespan >= max(durations)
+            assert makespan <= sum(durations)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            schedule_makespan([1.0], 0)
+        with pytest.raises(ValueError):
+            schedule_makespan([-1.0], 2)
+
+
+class TestCluster:
+    def test_slot_counts(self):
+        cluster = Cluster(num_nodes=9)
+        assert cluster.map_slots == 9
+        assert cluster.reduce_slots == 9
+
+    def test_paper_config_one_slot_each(self):
+        cluster = Cluster(num_nodes=36, map_slots_per_node=1, reduce_slots_per_node=1)
+        assert cluster.map_slots == cluster.reduce_slots == 36
+
+    def test_shuffle_time_scales_with_aggregate_bandwidth(self):
+        small = Cluster(num_nodes=9)
+        large = Cluster(num_nodes=36)
+        data = 10**9
+        assert small.shuffle_seconds(data) == pytest.approx(4 * large.shuffle_seconds(data))
+
+    def test_broadcast_time_constant_in_nodes(self):
+        small = Cluster(num_nodes=9)
+        large = Cluster(num_nodes=36)
+        assert small.broadcast_seconds(10**8) == large.broadcast_seconds(10**8)
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            Cluster(num_nodes=0)
+
+
+class TestJobSimulation:
+    def make_stats(self, map_durations, reduce_durations, shuffle_bytes=0):
+        stats = JobStats(job_name="test")
+        for i, d in enumerate(map_durations):
+            stats.map_tasks.append(TaskStat(f"m{i}", "map", d, 1, 1))
+        for i, d in enumerate(reduce_durations):
+            stats.reduce_tasks.append(TaskStat(f"r{i}", "reduce", d, 1, 1))
+        stats.shuffle_bytes = shuffle_bytes
+        return stats
+
+    def test_more_nodes_never_slower(self):
+        stats = self.make_stats([0.5] * 16, [2.0] * 16, shuffle_bytes=10**7)
+        times = [
+            stats.simulated_seconds(Cluster(num_nodes=n)) for n in (4, 8, 16)
+        ]
+        assert times[0] >= times[1] >= times[2]
+
+    def test_speedup_is_sublinear(self):
+        """The paper's Section 6.5 observation: speedup < linear."""
+        stats = self.make_stats([0.5] * 36, [2.0] * 36, shuffle_bytes=10**8)
+        stats.cache_bytes = 10**7
+        t9 = stats.simulated_seconds(Cluster(num_nodes=9))
+        t36 = stats.simulated_seconds(Cluster(num_nodes=36))
+        assert t9 / t36 < 4.0  # 4x nodes, strictly less than 4x speedup
+
+    def test_totals(self):
+        stats = self.make_stats([1.0, 2.0], [3.0])
+        assert stats.total_map_seconds() == 3.0
+        assert stats.total_reduce_seconds() == 3.0
+        assert stats.total_attempts() == 3

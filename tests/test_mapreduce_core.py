@@ -1,0 +1,132 @@
+"""Unit tests for serialization, counters, partitioners and splits."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset
+from repro.mapreduce import (
+    Counters,
+    HashPartitioner,
+    ModPartitioner,
+    ObjectRecord,
+    dataset_splits,
+    estimate_bytes,
+    records_from_dataset,
+    split_records,
+)
+
+
+class TestEstimateBytes:
+    @pytest.mark.parametrize(
+        "obj,expected",
+        [
+            (None, 1),
+            (True, 1),
+            (7, 8),
+            (3.14, 8),
+            ("abc", 4 + 3),
+            (b"abcd", 4 + 4),
+        ],
+    )
+    def test_primitives(self, obj, expected):
+        assert estimate_bytes(obj) == expected
+
+    def test_numpy_array(self):
+        assert estimate_bytes(np.zeros(4)) == 4 + 32
+
+    def test_numpy_scalars(self):
+        assert estimate_bytes(np.int64(5)) == 8
+        assert estimate_bytes(np.float32(1.0)) == 8
+
+    def test_containers(self):
+        assert estimate_bytes((1, 2.0)) == 4 + 16
+        assert estimate_bytes([1, 2, 3]) == 4 + 24
+        assert estimate_bytes({"a": 1}) == 4 + (4 + 1) + 8
+
+    def test_protocol_object(self):
+        record = ObjectRecord("R", 1, np.zeros(3))
+        # 1 tag + 8 id + 24 coords + 8 pid + 8 dist
+        assert estimate_bytes(record) == 49
+
+    def test_payload_counts(self):
+        with_payload = ObjectRecord("S", 1, np.zeros(3), payload=100)
+        assert estimate_bytes(with_payload) == 149
+
+    def test_unsupported_raises(self):
+        with pytest.raises(TypeError, match="estimate"):
+            estimate_bytes(object())
+
+
+class TestCounters:
+    def test_incr_and_value(self):
+        counters = Counters()
+        counters.incr("g", "n", 3)
+        counters.incr("g", "n")
+        assert counters.value("g", "n") == 4
+
+    def test_missing_is_zero(self):
+        assert Counters().value("g", "n") == 0
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.incr("g", "x", 1)
+        b.incr("g", "x", 2)
+        b.incr("h", "y", 5)
+        a.merge(b)
+        assert a.value("g", "x") == 3
+        assert a.value("h", "y") == 5
+
+    def test_as_dict_sorted(self):
+        counters = Counters()
+        counters.incr("b", "z")
+        counters.incr("a", "y")
+        assert list(counters.as_dict()) == ["a", "b"]
+
+
+class TestPartitioners:
+    def test_hash_stable_and_in_range(self):
+        partitioner = HashPartitioner()
+        for key in [0, 17, "abc", (1, 2), b"xy", (1, "a")]:
+            first = partitioner.assign(key, 7)
+            assert 0 <= first < 7
+            assert partitioner.assign(key, 7) == first
+
+    def test_hash_spreads_keys(self):
+        partitioner = HashPartitioner()
+        buckets = {partitioner.assign(("key", i), 8) for i in range(100)}
+        assert len(buckets) == 8
+
+    def test_mod_is_identity_for_small_ints(self):
+        partitioner = ModPartitioner()
+        assert partitioner.assign(3, 10) == 3
+        assert partitioner.assign(13, 10) == 3
+
+    def test_hash_rejects_unhashable(self):
+        with pytest.raises(TypeError):
+            HashPartitioner().assign(object(), 4)
+
+
+class TestSplits:
+    def test_records_from_dataset_tags_and_payload(self):
+        data = Dataset(np.zeros((3, 2)), payload_bytes=np.array([5, 6, 7]))
+        records = records_from_dataset(data, "S")
+        assert len(records) == 3
+        assert all(tag == "S" for tag, _ in records)
+        assert records[1][1].payload == 6
+
+    def test_split_sizes(self):
+        records = [("k", i) for i in range(10)]
+        splits = split_records(records, 4)
+        assert [len(s) for s in splits] == [4, 4, 2]
+        assert [s.split_id for s in splits] == [0, 1, 2]
+
+    def test_split_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            split_records([], 0)
+
+    def test_dataset_splits_cover_r_then_s(self):
+        r = Dataset(np.zeros((3, 2)), name="r")
+        s = Dataset(np.ones((2, 2)), name="s")
+        splits = dataset_splits(r, s, split_size=2)
+        flat = [record for split in splits for record in split.records]
+        assert [tag for tag, _ in flat] == ["R", "R", "R", "S", "S"]

@@ -1,0 +1,77 @@
+"""Unit tests for the DFS model."""
+
+import pytest
+
+from repro.mapreduce import DistributedFileSystem
+
+
+def records(n):
+    return [(i, float(i)) for i in range(n)]
+
+
+class TestPutGet:
+    def test_roundtrip(self):
+        dfs = DistributedFileSystem(num_nodes=3, chunk_records=4)
+        dfs.put("data", records(10))
+        assert dfs.read("data") == records(10)
+
+    def test_chunking(self):
+        dfs = DistributedFileSystem(num_nodes=3, chunk_records=4)
+        file = dfs.put("data", records(10))
+        assert [len(c) for c in file.chunks] == [4, 4, 2]
+        assert file.record_count() == 10
+
+    def test_round_robin_placement(self):
+        dfs = DistributedFileSystem(num_nodes=3, chunk_records=2)
+        file = dfs.put("data", records(8))
+        assert file.chunk_nodes == [0, 1, 2, 0]
+
+    def test_overwrite(self):
+        dfs = DistributedFileSystem(num_nodes=2)
+        dfs.put("data", records(5))
+        dfs.put("data", records(2))
+        assert len(dfs.read("data")) == 2
+
+    def test_empty_file(self):
+        dfs = DistributedFileSystem(num_nodes=2, chunk_records=4)
+        dfs.put("empty", [])
+        assert dfs.read("empty") == []
+
+    def test_exists_delete(self):
+        dfs = DistributedFileSystem(num_nodes=2)
+        dfs.put("data", records(1))
+        assert dfs.exists("data")
+        dfs.delete("data")
+        assert not dfs.exists("data")
+        dfs.delete("data")  # idempotent
+
+    def test_missing_read_raises(self):
+        with pytest.raises(KeyError):
+            DistributedFileSystem(num_nodes=1).read("nope")
+
+
+class TestSplits:
+    def test_one_split_per_chunk_with_locality(self):
+        dfs = DistributedFileSystem(num_nodes=2, chunk_records=3)
+        dfs.put("data", records(7))
+        splits = dfs.splits("data")
+        assert len(splits) == 3
+        assert [s.location for s in splits] == [0, 1, 0]
+        assert sum(len(s) for s in splits) == 7
+
+
+class TestBytes:
+    def test_replication_multiplies_bytes(self):
+        single = DistributedFileSystem(num_nodes=3, replication=1)
+        triple = DistributedFileSystem(num_nodes=3, replication=3)
+        single.put("data", records(10))
+        triple.put("data", records(10))
+        assert triple.file_bytes("data") == 3 * single.file_bytes("data")
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            DistributedFileSystem(num_nodes=0)
+        with pytest.raises(ValueError):
+            DistributedFileSystem(num_nodes=2, chunk_records=0)
+        with pytest.raises(ValueError):
+            DistributedFileSystem(num_nodes=2, replication=3)

@@ -1,0 +1,56 @@
+"""Unit tests for statistics and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import Series, SizeStats, format_series, format_table, size_stats
+
+
+class TestSizeStats:
+    def test_values(self):
+        stats = size_stats(np.array([1, 2, 3, 4]))
+        assert stats.minimum == 1
+        assert stats.maximum == 4
+        assert stats.average == 2.5
+        assert stats.deviation == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_as_row(self):
+        row = size_stats(np.array([5, 5, 5])).as_row()
+        assert row == [5, 5, 5.0, 0.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            size_stats(np.array([]))
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["name", "value"], [["abc", 1], ["d", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # columns align: 'abc' and 'd' start at the same offset
+        assert lines[3].index("1") == lines[4].index("2")
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.000123456]])
+        assert "1.235e-04" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestSeries:
+    def test_add_and_render(self):
+        a = Series("pgbj")
+        b = Series("hbrj")
+        for x in range(3):
+            a.add(x * 1.0)
+            b.add(x * 2.0)
+        out = format_series("Fig", "k", [10, 20, 30], [a, b])
+        lines = out.splitlines()
+        assert lines[0] == "Fig"
+        assert "pgbj" in lines[1] and "hbrj" in lines[1]
+        assert len(lines) == 6

@@ -1,0 +1,80 @@
+"""Unit tests for the first MapReduce job (partitioning + summaries)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset, VoronoiPartitioner, get_metric
+from repro.joins.base import PAIRS_GROUP, PAIRS_NAME, JoinConfig
+from repro.joins.partition_job import merge_summaries, run_partitioning_job
+from repro.mapreduce import LocalRuntime
+
+
+@pytest.fixture
+def world(rng):
+    r = Dataset(rng.random((80, 3)), name="r")
+    s = Dataset(rng.random((100, 3)), ids=np.arange(500, 600), name="s")
+    pivots = rng.random((6, 3))
+    return r, s, pivots
+
+
+def run(world, split_size=32, k=4):
+    r, s, pivots = world
+    config = JoinConfig(k=k, num_reducers=2, split_size=split_size)
+    result = run_partitioning_job(r, s, pivots, config, LocalRuntime())
+    tr, ts, _ = merge_summaries(result, k)
+    return r, s, pivots, result, tr, ts
+
+
+class TestJobOutput:
+    def test_every_object_emitted_once(self, world):
+        r, s, pivots, result, tr, ts = run(world)
+        assert len(result.outputs) == len(r) + len(s)
+        ids = sorted(record.object_id for _, record in result.outputs)
+        assert ids == sorted(list(r.ids) + list(s.ids))
+
+    def test_records_annotated_with_cells_and_distances(self, world):
+        r, s, pivots, result, tr, ts = run(world)
+        partitioner = VoronoiPartitioner(pivots, get_metric("l2"))
+        for pid, record in result.outputs:
+            assert pid == record.partition_id
+            true_dists = np.linalg.norm(pivots - record.point, axis=1)
+            assert record.pivot_distance == pytest.approx(true_dists.min())
+
+    def test_map_only_no_shuffle(self, world):
+        _, _, _, result, _, _ = run(world)
+        assert result.stats.shuffle_bytes == 0
+        assert result.outputs_by_reducer is None
+
+    def test_distance_pairs_counted(self, world):
+        r, s, pivots, result, tr, ts = run(world)
+        expected = (len(r) + len(s)) * pivots.shape[0]
+        assert result.counters.value(PAIRS_GROUP, PAIRS_NAME) == expected
+
+
+class TestSummaries:
+    def test_tr_counts_match_r_partitioning(self, world):
+        r, s, pivots, result, tr, ts = run(world)
+        partitioner = VoronoiPartitioner(pivots, get_metric("l2"))
+        assignment = partitioner.assign(r)
+        assert np.array_equal(tr.counts(6), assignment.counts())
+
+    def test_ts_knn_lists_match_global_sort(self, world):
+        r, s, pivots, result, tr, ts = run(world)
+        partitioner = VoronoiPartitioner(pivots, get_metric("l2"))
+        assignment = partitioner.assign(s)
+        for pid in ts.partition_ids():
+            rows = assignment.rows_of(pid)
+            expected = tuple(np.sort(assignment.pivot_distances[rows])[:4].tolist())
+            assert ts.get(pid).knn_distances == pytest.approx(expected)
+
+    def test_split_size_does_not_change_summaries(self, world):
+        _, _, _, _, tr_small, ts_small = run(world, split_size=16)
+        _, _, _, _, tr_big, ts_big = run(world, split_size=512)
+        assert tr_small.partition_ids() == tr_big.partition_ids()
+        for pid in tr_small.partition_ids():
+            assert tr_small.get(pid).count == tr_big.get(pid).count
+            assert tr_small.get(pid).upper == pytest.approx(tr_big.get(pid).upper)
+        for pid in ts_small.partition_ids():
+            assert ts_small.get(pid).knn_distances == pytest.approx(
+                ts_big.get(pid).knn_distances
+            )

@@ -1,0 +1,124 @@
+"""Unit tests for the three pivot selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset, VoronoiPartitioner, get_metric
+from repro.pivots import (
+    FarthestPivotSelector,
+    KMeansPivotSelector,
+    RandomPivotSelector,
+    get_pivot_selector,
+)
+
+
+@pytest.fixture
+def clustered():
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0]])
+    points = np.vstack([c + rng.normal(0, 0.3, (50, 2)) for c in centers])
+    return Dataset(points, name="clusters")
+
+
+def select(selector, dataset, m, seed=0):
+    return selector.select(dataset, m, get_metric("l2"), np.random.default_rng(seed))
+
+
+class TestCommon:
+    @pytest.mark.parametrize("name", ["random", "farthest", "kmeans"])
+    def test_shape(self, name, clustered):
+        pivots = select(get_pivot_selector(name), clustered, 8)
+        assert pivots.shape == (8, 2)
+
+    @pytest.mark.parametrize("name", ["random", "farthest", "kmeans"])
+    def test_deterministic_under_seed(self, name, clustered):
+        a = select(get_pivot_selector(name), clustered, 6, seed=3)
+        b = select(get_pivot_selector(name), clustered, 6, seed=3)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", ["random", "farthest", "kmeans"])
+    def test_too_many_pivots_rejected(self, name, clustered):
+        with pytest.raises(ValueError):
+            select(get_pivot_selector(name), clustered, len(clustered) + 1)
+
+    def test_unknown_selector(self):
+        with pytest.raises(ValueError, match="unknown pivot selector"):
+            get_pivot_selector("pca")
+
+    @pytest.mark.parametrize("name", ["random", "farthest", "kmeans"])
+    def test_counts_distances(self, name, clustered):
+        metric = get_metric("l2")
+        get_pivot_selector(name).select(clustered, 5, metric, np.random.default_rng(0))
+        assert metric.pairs_computed > 0
+
+
+class TestRandom:
+    def test_pivots_are_dataset_objects(self, clustered):
+        pivots = select(RandomPivotSelector(), clustered, 5)
+        for pivot in pivots:
+            assert any(np.allclose(pivot, p) for p in clustered.points)
+
+    def test_best_of_t_improves_spread(self, clustered):
+        """More candidate sets can only raise the winning pairwise-sum score."""
+        scores = {}
+        for t in (1, 8):
+            pivots = select(RandomPivotSelector(num_candidate_sets=t), clustered, 6)
+            scores[t] = get_metric("l2").pairwise_sum(pivots)
+        assert scores[8] >= scores[1]
+
+    def test_rejects_zero_sets(self):
+        with pytest.raises(ValueError):
+            RandomPivotSelector(num_candidate_sets=0)
+
+
+class TestFarthest:
+    def test_picks_extreme_objects(self, clustered):
+        """Farthest selection lands on the cluster extremes (outlier affinity)."""
+        pivots = select(FarthestPivotSelector(sample_size=0), clustered, 4)
+        # the 4 pivots should land in 4 different corners-ish: pairwise far
+        dmin = min(
+            np.linalg.norm(pivots[i] - pivots[j])
+            for i in range(4)
+            for j in range(i + 1, 4)
+        )
+        assert dmin > 5.0
+
+    def test_no_duplicate_pivots(self, clustered):
+        pivots = select(FarthestPivotSelector(sample_size=0), clustered, 10)
+        assert np.unique(pivots, axis=0).shape[0] == 10
+
+    def test_produces_skewed_partitions_vs_random(self):
+        """Table 2's shape: farthest selection has larger size deviation."""
+        rng = np.random.default_rng(1)
+        # clusters plus a few extreme outliers
+        points = np.vstack(
+            [rng.normal(0, 1, (400, 2)), rng.normal(0, 1, (5, 2)) * 40]
+        )
+        data = Dataset(points)
+        devs = {}
+        for name in ("random", "farthest"):
+            pivots = select(get_pivot_selector(name), data, 12, seed=5)
+            assignment = VoronoiPartitioner(pivots, get_metric("l2")).assign(data)
+            devs[name] = assignment.counts().std()
+        assert devs["farthest"] > devs["random"]
+
+
+class TestKMeans:
+    def test_centers_near_true_clusters(self, clustered):
+        pivots = select(KMeansPivotSelector(sample_size=0), clustered, 4)
+        true_centers = np.array([[0, 0], [10, 0], [0, 10], [10, 10]], dtype=float)
+        for center in true_centers:
+            assert min(np.linalg.norm(pivots - center, axis=1)) < 1.5
+
+    def test_balanced_partitions(self, clustered):
+        pivots = select(KMeansPivotSelector(sample_size=0), clustered, 4)
+        assignment = VoronoiPartitioner(pivots, get_metric("l2")).assign(clustered)
+        assert assignment.counts().std() < 10
+
+    def test_sampling_limits_work(self, clustered):
+        pivots = select(KMeansPivotSelector(sample_size=60), clustered, 4)
+        assert pivots.shape == (4, 2)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            KMeansPivotSelector(max_iterations=0)

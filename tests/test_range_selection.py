@@ -1,0 +1,89 @@
+"""Unit tests for the distributed range-selection operator (Definition 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Dataset
+from repro.joins import DistributedRangeSelection, JoinConfig
+
+
+@pytest.fixture
+def world(rng):
+    data = Dataset(rng.random((500, 3)), name="O")
+    queries = Dataset(rng.random((12, 3)), ids=np.arange(9000, 9012), name="Q")
+    return data, queries
+
+
+def linear_scan(data, queries, theta):
+    out = {}
+    for row in range(len(queries)):
+        dists = np.linalg.norm(data.points - queries.points[row], axis=1)
+        out[int(queries.ids[row])] = sorted(int(i) for i in data.ids[dists <= theta])
+    return out
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("theta", [0.05, 0.2, 0.5])
+    def test_matches_linear_scan(self, world, theta):
+        data, queries = world
+        op = DistributedRangeSelection(JoinConfig(num_reducers=4, split_size=128), num_pivots=16)
+        outcome = op.run(data, queries, theta)
+        assert outcome.matches == linear_scan(data, queries, theta)
+
+    def test_zero_threshold_finds_exact_points(self, world):
+        data, queries = world
+        # put one query exactly on a data point
+        points = queries.points.copy()
+        points[0] = data.points[42]
+        queries = Dataset(points, ids=queries.ids, name="Q")
+        op = DistributedRangeSelection(JoinConfig(num_reducers=4), num_pivots=8)
+        outcome = op.run(data, queries, 0.0)
+        assert outcome.matches[9000] == [42]
+
+    def test_far_queries_match_nothing(self, rng):
+        data = Dataset(rng.random((200, 2)))
+        queries = Dataset(np.full((3, 2), 100.0), ids=np.arange(3))
+        op = DistributedRangeSelection(JoinConfig(num_reducers=4), num_pivots=8)
+        outcome = op.run(data, queries, 0.5)
+        assert all(matches == [] for matches in outcome.matches.values())
+
+    def test_huge_threshold_matches_everything(self, rng):
+        data = Dataset(rng.random((100, 2)))
+        queries = Dataset(rng.random((2, 2)), ids=np.array([7, 8]))
+        op = DistributedRangeSelection(JoinConfig(num_reducers=2), num_pivots=4)
+        outcome = op.run(data, queries, 10.0)
+        assert outcome.matches[7] == sorted(int(i) for i in data.ids)
+
+    def test_negative_threshold_rejected(self, world):
+        data, queries = world
+        op = DistributedRangeSelection(JoinConfig(num_reducers=2), num_pivots=4)
+        with pytest.raises(ValueError):
+            op.run(data, queries, -1.0)
+
+
+class TestPruning:
+    def test_unreachable_cells_not_shuffled(self, rng):
+        """Objects in cells no query ball touches are dropped at the mapper."""
+        # two distant clusters; queries only near the first
+        left = rng.random((200, 2))
+        right = rng.random((200, 2)) + 50.0
+        data = Dataset(np.vstack([left, right]))
+        queries = Dataset(rng.random((5, 2)), ids=np.arange(5000, 5005))
+        op = DistributedRangeSelection(JoinConfig(num_reducers=3), num_pivots=12)
+        outcome = op.run(data, queries, 0.3)
+        # the right cluster (half the data, in every reducer's copy) is pruned
+        assert outcome.shuffle_records < 3 * len(data) * 0.75
+
+    def test_smaller_theta_shuffles_less(self, world):
+        data, queries = world
+        op = DistributedRangeSelection(JoinConfig(num_reducers=4), num_pivots=16)
+        small = op.run(data, queries, 0.05)
+        large = op.run(data, queries, 0.8)
+        assert small.shuffle_records <= large.shuffle_records
+        assert small.distance_pairs <= large.distance_pairs
+
+    def test_selectivity_accessor(self, world):
+        data, queries = world
+        op = DistributedRangeSelection(JoinConfig(num_reducers=4), num_pivots=16)
+        outcome = op.run(data, queries, 0.2)
+        assert outcome.selectivity() > 0

@@ -1,0 +1,101 @@
+"""Unit tests for the join result container."""
+
+import numpy as np
+import pytest
+
+from repro.core import KnnJoinResult
+
+
+def filled(k=2):
+    result = KnnJoinResult(k)
+    result.add(1, np.array([10, 11]), np.array([0.1, 0.2]))
+    result.add(2, np.array([12, 13]), np.array([0.3, 0.4]))
+    return result
+
+
+class TestConstruction:
+    def test_add_and_lookup(self):
+        result = filled()
+        ids, dists = result.neighbors_of(1)
+        assert ids.tolist() == [10, 11]
+        assert dists.tolist() == [0.1, 0.2]
+
+    def test_duplicate_r_rejected(self):
+        result = filled()
+        with pytest.raises(ValueError, match="duplicate"):
+            result.add(1, np.array([9]), np.array([0.9]))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            KnnJoinResult(2).add(1, np.array([1, 2]), np.array([0.1]))
+
+    def test_from_dict(self):
+        result = KnnJoinResult.from_dict(
+            1, {5: (np.array([7]), np.array([0.5]))}
+        )
+        assert result.neighbors_of(5)[0].tolist() == [7]
+
+
+class TestViews:
+    def test_pairs_flatten(self):
+        pairs = list(filled().pairs())
+        assert (1, 10, 0.1) in [(r, s, round(d, 6)) for r, s, d in pairs]
+        assert len(pairs) == 4
+
+    def test_total_pairs(self):
+        assert filled().total_pairs() == 4
+
+    def test_kth_distances(self):
+        assert filled().kth_distances().tolist() == [0.2, 0.4]
+
+    def test_len_contains(self):
+        result = filled()
+        assert len(result) == 2
+        assert 1 in result and 99 not in result
+
+
+class TestValidate:
+    def test_valid(self):
+        filled().validate(np.array([1, 2]), s_size=100)
+
+    def test_missing_r(self):
+        with pytest.raises(AssertionError, match="mismatch"):
+            filled().validate(np.array([1, 2, 3]), s_size=100)
+
+    def test_wrong_count(self):
+        result = KnnJoinResult(3)
+        result.add(1, np.array([1]), np.array([0.1]))
+        with pytest.raises(AssertionError, match="neighbors"):
+            result.validate(np.array([1]), s_size=100)
+
+    def test_k_capped_by_s_size(self):
+        result = KnnJoinResult(5)
+        result.add(1, np.array([1, 2]), np.array([0.1, 0.2]))
+        result.validate(np.array([1]), s_size=2)
+
+    def test_unsorted_distances(self):
+        result = KnnJoinResult(2)
+        result.add(1, np.array([1, 2]), np.array([0.2, 0.1]))
+        with pytest.raises(AssertionError, match="sorted"):
+            result.validate(np.array([1]), s_size=10)
+
+
+class TestComparison:
+    def test_same_distances_true_with_different_ids(self):
+        a = KnnJoinResult(1)
+        a.add(1, np.array([10]), np.array([0.5]))
+        b = KnnJoinResult(1)
+        b.add(1, np.array([99]), np.array([0.5]))
+        assert a.same_distances_as(b)
+
+    def test_different_distances(self):
+        a = filled()
+        b = KnnJoinResult(2)
+        b.add(1, np.array([10, 11]), np.array([0.1, 0.25]))
+        b.add(2, np.array([12, 13]), np.array([0.3, 0.4]))
+        assert not a.same_distances_as(b)
+
+    def test_different_r_sets(self):
+        b = KnnJoinResult(2)
+        b.add(1, np.array([10, 11]), np.array([0.1, 0.2]))
+        assert not filled().same_distances_as(b)

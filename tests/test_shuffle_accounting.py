@@ -1,0 +1,64 @@
+"""Integration tests for shuffle-cost accounting across the join pipelines."""
+
+import numpy as np
+import pytest
+
+from repro import HBRJ, PGBJ, BlockJoinConfig, PgbjConfig
+from repro.core import Dataset
+from repro.datasets import generate_osm
+
+
+class TestPayloadBytes:
+    def test_payloads_ride_the_shuffle(self):
+        """The same geometry with payloads must shuffle strictly more bytes."""
+        with_payload = generate_osm(400, seed=1, with_payload=True)
+        without_payload = Dataset(
+            with_payload.points.copy(), ids=with_payload.ids.copy(), name="bare"
+        )
+        config = PgbjConfig(k=3, num_reducers=4, num_pivots=12, seed=2)
+        heavy = PGBJ(config).run(with_payload, with_payload)
+        light = PGBJ(config).run(without_payload, without_payload)
+        assert heavy.shuffle_bytes() > light.shuffle_bytes()
+        # identical geometry -> identical results and replica counts
+        assert heavy.result.same_distances_as(light.result)
+        assert heavy.replication_of_s() == light.replication_of_s()
+
+    def test_payload_volume_roughly_accounted(self):
+        data = generate_osm(300, seed=3)
+        config = BlockJoinConfig(k=3, num_reducers=4, seed=2)
+        outcome = HBRJ(config).run(data, data)
+        # each object (and its payload) crosses the shuffle sqrt(N)=2 times
+        payload_volume = int(data.payload_bytes.sum())
+        assert outcome.job_stats[0].shuffle_bytes > 2 * payload_volume
+
+
+class TestCostFormulae:
+    def test_block_framework_record_count(self, small_uniform):
+        """First-job shuffle = sqrt(N) * (|R| + |S|) records exactly."""
+        config = BlockJoinConfig(k=3, num_reducers=9, seed=0)
+        outcome = HBRJ(config).run(small_uniform, small_uniform)
+        expected = config.num_blocks * (2 * len(small_uniform))
+        assert outcome.job_stats[0].shuffle_records == expected
+
+    def test_merge_job_record_count(self, small_uniform):
+        """Second-job shuffle = one candidate list per (r, block)."""
+        config = BlockJoinConfig(k=3, num_reducers=9, seed=0)
+        outcome = HBRJ(config).run(small_uniform, small_uniform)
+        expected = config.num_blocks * len(small_uniform)
+        assert outcome.job_stats[1].shuffle_records == expected
+
+    def test_pgbj_beats_broadcast_bound(self, small_forest):
+        """PGBJ replication never exceeds the |R| + N*|S| broadcast bound."""
+        config = PgbjConfig(k=5, num_reducers=6, num_pivots=16, seed=1)
+        outcome = PGBJ(config).run(small_forest, small_forest)
+        join_records = outcome.job_stats[1].shuffle_records
+        assert join_records <= len(small_forest) + 6 * len(small_forest)
+
+    def test_more_pivots_reduce_replication(self, small_forest):
+        """Section 5's motivation: finer cells -> tighter bounds -> fewer replicas."""
+        replication = {}
+        for num_pivots in (8, 48):
+            config = PgbjConfig(k=5, num_reducers=4, num_pivots=num_pivots, seed=3)
+            outcome = PGBJ(config).run(small_forest, small_forest)
+            replication[num_pivots] = outcome.replication_of_s()
+        assert replication[48] <= replication[8]

@@ -1,0 +1,151 @@
+"""Unit tests for the z-order transform and the approximate join extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import KnnJoinResult, brute_force_knn_join, get_metric
+from repro.core.zorder import ZOrderTransform
+from repro.datasets import gaussian_mixture_dataset
+from repro.joins import ZOrderConfig, ZOrderKnnJoin, recall_against
+
+
+class TestTransform:
+    def test_quantize_range(self):
+        transform = ZOrderTransform(np.zeros(2), np.ones(2), bits=4)
+        cells = transform.quantize(np.array([[0.0, 1.0], [0.5, 0.5]]))
+        assert cells[0].tolist() == [0, 15]
+        assert 6 <= cells[1][0] <= 8
+
+    def test_points_outside_box_clamped(self):
+        transform = ZOrderTransform(np.zeros(1), np.ones(1), bits=4)
+        cells = transform.quantize(np.array([[-5.0], [5.0]]))
+        assert cells[0][0] == 0
+        assert cells[1][0] == 15
+
+    def test_z_value_interleaving_2d(self):
+        transform = ZOrderTransform(np.zeros(2), np.full(2, 4.0 - 1e-9), bits=2)
+        # cell (1, 0): x bit0=1 -> position 0; y bits zero -> z = 1
+        z = transform.z_values(np.array([[1.0, 0.0]]))
+        assert z[0] == 1
+        # cell (0, 1): y bit0=1 -> position 1 -> z = 2
+        z = transform.z_values(np.array([[0.0, 1.0]]))
+        assert z[0] == 2
+        # cell (3, 3) with 2 bits -> all four bits set -> z = 15
+        z = transform.z_values(np.array([[3.0, 3.0]]))
+        assert z[0] == 15
+
+    def test_monotone_along_axis(self):
+        """Fixing other coords, z-value grows with any single coordinate."""
+        transform = ZOrderTransform(np.zeros(2), np.full(2, 16.0), bits=4)
+        xs = np.column_stack([np.arange(16, dtype=float), np.full(16, 3.0)])
+        zs = transform.z_values(xs)
+        assert all(a < b for a, b in zip(zs, zs[1:]))
+
+    def test_locality(self):
+        """Near points share long z-prefixes more often than far points."""
+        rng = np.random.default_rng(0)
+        points = rng.random((200, 2))
+        transform = ZOrderTransform.for_points(points, bits=16)
+        zs = transform.z_values(points)
+        order = np.argsort(np.array(zs, dtype=object))
+        # mean spatial distance between z-curve neighbors far below random pairs
+        curve_neighbor = np.mean(
+            [
+                np.linalg.norm(points[order[i]] - points[order[i + 1]])
+                for i in range(len(order) - 1)
+            ]
+        )
+        random_pairs = np.mean(
+            [
+                np.linalg.norm(points[rng.integers(200)] - points[rng.integers(200)])
+                for _ in range(500)
+            ]
+        )
+        assert curve_neighbor < 0.4 * random_pairs
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            ZOrderTransform(np.zeros(2), np.zeros(2))
+        with pytest.raises(ValueError):
+            ZOrderTransform(np.zeros(2), np.ones(2), bits=0)
+
+
+class TestApproximateJoin:
+    @pytest.fixture(scope="class")
+    def world(self):
+        data = gaussian_mixture_dataset(500, 3, num_clusters=6, seed=4)
+        k = 8
+        truth = KnnJoinResult.from_dict(
+            k,
+            brute_force_knn_join(
+                get_metric("l2"), data.points, data.ids, data.points, data.ids, k
+            ),
+        )
+        return data, k, truth
+
+    def test_every_r_answered(self, world):
+        data, k, truth = world
+        outcome = ZOrderKnnJoin(
+            ZOrderConfig(k=k, num_reducers=8, num_shifts=2, seed=3)
+        ).run(data, data)
+        assert set(outcome.result.r_ids()) == set(int(i) for i in data.ids)
+
+    def test_no_duplicate_neighbors(self, world):
+        data, k, truth = world
+        outcome = ZOrderKnnJoin(
+            ZOrderConfig(k=k, num_reducers=8, num_shifts=4, seed=3)
+        ).run(data, data)
+        for r_id in outcome.result.r_ids():
+            ids, _ = outcome.result.neighbors_of(r_id)
+            assert np.unique(ids).size == ids.size
+
+    def test_recall_improves_with_shifts(self, world):
+        data, k, truth = world
+        recalls = []
+        for shifts in (1, 3):
+            outcome = ZOrderKnnJoin(
+                ZOrderConfig(k=k, num_reducers=9, num_shifts=shifts, seed=5)
+            ).run(data, data)
+            recall, ratio = recall_against(outcome.result, truth)
+            recalls.append(recall)
+            assert ratio >= 0.999  # approximate kth radius never beats exact
+        assert recalls[1] > recalls[0]
+        assert recalls[1] > 0.6
+
+    def test_cheaper_than_exact_scan(self, world):
+        data, k, truth = world
+        outcome = ZOrderKnnJoin(
+            ZOrderConfig(k=k, num_reducers=8, num_shifts=2, seed=3)
+        ).run(data, data)
+        assert outcome.selectivity() < 0.25  # way below the naive 1.0
+
+    def test_invalid_shifts(self):
+        with pytest.raises(ValueError):
+            ZOrderConfig(num_shifts=0)
+
+
+class TestRecallMetric:
+    def test_perfect_recall(self):
+        a = KnnJoinResult(2)
+        a.add(1, np.array([5, 6]), np.array([0.1, 0.2]))
+        recall, ratio = recall_against(a, a)
+        assert recall == 1.0
+        assert ratio == pytest.approx(1.0)
+
+    def test_zero_recall(self):
+        exact = KnnJoinResult(1)
+        exact.add(1, np.array([5]), np.array([0.1]))
+        approx = KnnJoinResult(1)
+        approx.add(1, np.array([9]), np.array([5.0]))
+        recall, ratio = recall_against(approx, exact)
+        assert recall == 0.0
+        assert ratio == pytest.approx(50.0)
+
+    def test_missing_r_counts_as_misses(self):
+        exact = KnnJoinResult(1)
+        exact.add(1, np.array([5]), np.array([0.1]))
+        exact.add(2, np.array([6]), np.array([0.2]))
+        approx = KnnJoinResult(1)
+        approx.add(1, np.array([5]), np.array([0.1]))
+        recall, _ = recall_against(approx, exact)
+        assert recall == 0.5
