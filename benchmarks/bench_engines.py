@@ -1,0 +1,93 @@
+"""Engine bench: serial vs threads vs processes on one PGBJ join.
+
+The exhibit benches measure *simulated* cluster seconds, built from per-task
+CPU time and therefore engine-independent up to timing noise; this bench
+measures the real wall-clock of the whole PGBJ pipeline under each execution
+backend.  The workload is scaled up
+(4x the default bench objects) so per-task kernel work dominates pool
+start-up; speedups appear with available CPU cores — on a single-core
+machine the parallel engines only pay their coordination overhead, which
+this bench then quantifies.
+
+Every engine must reproduce the serial result and shuffle accounting exactly
+(the cross-engine contract); the bench asserts it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import ExperimentResult, bench_workers
+from repro.bench.harness import DEFAULTS, forest_workload, run_pgbj, scaled_pivots
+from repro.mapreduce import available_engines
+from repro.metrics import format_table
+
+
+def engines_experiment(seed: int = 0) -> ExperimentResult:
+    """Wall-clock of the same PGBJ join on every registered engine."""
+    data = forest_workload(times=4 * DEFAULTS["forest_times"], seed=seed)
+    workers = bench_workers()
+    engines = sorted(available_engines(), key=lambda name: name != "serial")
+
+    raw: dict[str, dict[str, float]] = {}
+    rows = []
+    reference = None
+    for engine in engines:
+        started = time.perf_counter()
+        outcome = run_pgbj(
+            data,
+            data,
+            num_pivots=scaled_pivots(DEFAULTS["num_pivots"]),
+            seed=seed,
+            engine=engine,
+            max_workers=workers,
+        )
+        wall = time.perf_counter() - started
+        if reference is None:
+            reference = outcome
+        else:
+            assert outcome.result.same_distances_as(reference.result), engine
+            assert outcome.shuffle_bytes() == reference.shuffle_bytes(), engine
+        raw[engine] = {
+            "wall_seconds": wall,
+            "speedup_vs_serial": raw["serial"]["wall_seconds"] / wall if raw else 1.0,
+            "shuffle_mb": outcome.shuffle_bytes() / 1e6,
+            "selectivity_permille": outcome.selectivity() * 1000,
+        }
+        rows.append(
+            [
+                engine,
+                round(wall, 3),
+                round(raw[engine]["speedup_vs_serial"], 2),
+                round(raw[engine]["shuffle_mb"], 3),
+            ]
+        )
+    text = format_table(
+        ["engine", "wall seconds", "speedup vs serial", "shuffle MB"],
+        rows,
+        title="Execution engines: one PGBJ join, identical results, real wall-clock",
+    )
+    return ExperimentResult(
+        exhibit="engines",
+        title="Execution-engine comparison (PGBJ wall-clock)",
+        text=text,
+        data=raw,
+        # this record covers every engine, overriding the env-derived default
+        engine="+".join(engines),
+        params={
+            "objects": len(data),
+            "k": DEFAULTS["k"],
+            "num_reducers": DEFAULTS["num_reducers"],
+            "workers": workers,
+        },
+    )
+
+
+def test_bench_engines(benchmark, exhibit_runner):
+    result = exhibit_runner(engines_experiment)
+    # identical-results contract held for every engine (asserted in-sweep)
+    assert set(result.data) == set(available_engines())
+    # shuffle accounting is engine-independent
+    shuffles = [v["shuffle_mb"] for v in result.data.values()]
+    assert max(shuffles) - min(shuffles) < 1e-9
+    assert all(v["wall_seconds"] > 0 for v in result.data.values())

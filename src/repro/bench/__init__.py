@@ -14,7 +14,9 @@ from .experiments import (
 from .harness import (
     DEFAULTS,
     ExperimentResult,
+    bench_engine,
     bench_scale,
+    bench_workers,
     default_cluster,
     forest_workload,
     osm_workload,
@@ -35,6 +37,8 @@ __all__ = [
     "ablation_cost_model_experiment",
     "ExperimentResult",
     "bench_scale",
+    "bench_engine",
+    "bench_workers",
     "forest_workload",
     "osm_workload",
     "default_cluster",

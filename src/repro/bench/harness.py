@@ -27,9 +27,12 @@ from repro.joins import (
     PgbjConfig,
 )
 from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.engines import DEFAULT_ENGINE, available_engines
 
 __all__ = [
     "bench_scale",
+    "bench_engine",
+    "bench_workers",
     "scaled_pivots",
     "pivot_sweep",
     "forest_workload",
@@ -64,6 +67,36 @@ def bench_scale() -> float:
     if scale <= 0:
         raise ValueError("REPRO_BENCH_SCALE must be positive")
     return scale
+
+
+def bench_engine() -> str:
+    """Execution engine for bench runs (``REPRO_ENGINE``, default serial).
+
+    All engines yield identical results, counters and shuffle accounting;
+    task durations are measured as per-task CPU seconds, so the simulated
+    running times stay comparable (up to timing noise) too.  The engine used
+    is stamped into every saved record.
+    """
+    engine = os.environ.get("REPRO_ENGINE", DEFAULT_ENGINE)
+    if engine not in available_engines():
+        raise ValueError(
+            f"REPRO_ENGINE must be one of {', '.join(available_engines())}"
+        )
+    return engine
+
+
+def bench_workers() -> int | None:
+    """Worker count for parallel engines (``REPRO_WORKERS``, default CPUs)."""
+    raw = os.environ.get("REPRO_WORKERS", "")
+    if not raw:
+        return None
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError("REPRO_WORKERS must be an integer") from None
+    if workers < 1:
+        raise ValueError("REPRO_WORKERS must be >= 1")
+    return workers
 
 
 def scaled(value: int, minimum: int = 8) -> int:
@@ -102,6 +135,11 @@ def default_cluster(num_nodes: int | None = None) -> Cluster:
 # -- algorithm runners ---------------------------------------------------------
 
 
+def _engine_params() -> dict[str, Any]:
+    """Engine settings every bench runner inherits (env-overridable)."""
+    return {"engine": bench_engine(), "max_workers": bench_workers()}
+
+
 def run_pgbj(r: Dataset, s: Dataset, **overrides) -> JoinOutcome:
     """Run PGBJ with bench defaults, overridable per experiment."""
     params = {
@@ -109,6 +147,7 @@ def run_pgbj(r: Dataset, s: Dataset, **overrides) -> JoinOutcome:
         "num_reducers": DEFAULTS["num_reducers"],
         "num_pivots": scaled_pivots(DEFAULTS["num_pivots"]),
         "split_size": DEFAULTS["split_size"],
+        **_engine_params(),
     }
     params.update(overrides)
     return PGBJ(PgbjConfig(**params)).run(r, s)
@@ -121,6 +160,7 @@ def run_pbj(r: Dataset, s: Dataset, **overrides) -> JoinOutcome:
         "num_reducers": DEFAULTS["num_reducers"],
         "num_pivots": scaled_pivots(DEFAULTS["num_pivots"]),
         "split_size": DEFAULTS["split_size"],
+        **_engine_params(),
     }
     params.update(overrides)
     return PBJ(BlockJoinConfig(**params)).run(r, s)
@@ -132,6 +172,7 @@ def run_hbrj(r: Dataset, s: Dataset, **overrides) -> JoinOutcome:
         "k": DEFAULTS["k"],
         "num_reducers": DEFAULTS["num_reducers"],
         "split_size": DEFAULTS["split_size"],
+        **_engine_params(),
     }
     params.update(overrides)
     params.pop("num_pivots", None)  # H-BRJ has no pivots
@@ -150,6 +191,8 @@ class ExperimentResult:
     text: str  # paper-style rendered tables
     data: dict[str, Any] = field(default_factory=dict)
     params: dict[str, Any] = field(default_factory=dict)
+    #: execution backend the sweep ran on — engine column of every record
+    engine: str = field(default_factory=bench_engine)
 
     def save(self, results_dir: str | Path = "results") -> Path:
         """Write the JSON record under ``results/<exhibit>.json``."""
@@ -159,6 +202,7 @@ class ExperimentResult:
         payload = {
             "exhibit": self.exhibit,
             "title": self.title,
+            "engine": self.engine,
             "params": self.params,
             "data": self.data,
             "text": self.text,

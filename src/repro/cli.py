@@ -35,6 +35,7 @@ from repro.joins import (
     JoinConfig,
     PgbjConfig,
 )
+from repro.mapreduce import DEFAULT_ENGINE, available_engines
 
 __all__ = ["main"]
 
@@ -89,6 +90,18 @@ def _build_parser() -> argparse.ArgumentParser:
     join.add_argument("--pivot-selection", choices=["random", "farthest", "kmeans"], default="random")
     join.add_argument("--grouping", choices=["geometric", "greedy"], default="geometric")
     join.add_argument("--seed", type=int, default=0)
+    join.add_argument(
+        "--engine",
+        choices=list(available_engines()),
+        default=DEFAULT_ENGINE,
+        help="task execution backend for the MapReduce jobs",
+    )
+    join.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for parallel engines (default: CPU count)",
+    )
 
     bench = sub.add_parser("bench", help="reproduce one exhibit (or `all`)")
     bench.add_argument("exhibit", choices=list(EXHIBITS) + ["all"])
@@ -102,6 +115,7 @@ def _cmd_info() -> int:
 
     print(f"repro {__version__} — PGBJ kNN-join reproduction (VLDB 2012)")
     print(f"bench scale: {bench_scale()} (set REPRO_BENCH_SCALE to change)")
+    print(f"engines: {', '.join(available_engines())} (default {DEFAULT_ENGINE})")
     print("bench defaults (paper values in DESIGN.md):")
     for key, value in DEFAULTS.items():
         print(f"  {key} = {value}")
@@ -118,6 +132,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
         k=args.k,
         num_reducers=args.num_reducers,
         seed=args.seed,
+        engine=args.engine,
+        max_workers=args.workers,
     )
     if args.algorithm == "pgbj":
         algorithm = PGBJ(
@@ -142,6 +158,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
     outcome = algorithm.run(data, data)
     cluster = default_cluster(args.num_reducers)
     print(f"algorithm            : {outcome.algorithm}")
+    print(f"engine               : {args.engine}"
+          + (f" ({args.workers} workers)" if args.workers else ""))
     print(f"|R| = |S|            : {len(data)} ({data.name})")
     print(f"k                    : {args.k}")
     print(f"join output pairs    : {outcome.result.total_pairs()}")

@@ -19,6 +19,8 @@ from repro.core.distance import Metric, get_metric
 from repro.core.result import KnnJoinResult
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.engines import DEFAULT_ENGINE, available_engines
+from repro.mapreduce.runtime import LocalRuntime
 from repro.mapreduce.stats import JobStats
 
 __all__ = ["JoinConfig", "PgbjConfig", "BlockJoinConfig", "JoinOutcome", "KnnJoinAlgorithm"]
@@ -36,6 +38,11 @@ class JoinConfig:
 
     ``num_reducers`` is ``N`` in the paper — the cluster runs one reduce task
     per node, so this is also the modelled node count of the join job.
+
+    ``engine`` selects the execution backend every MapReduce job of the join
+    runs on (``serial``, ``threads`` or ``processes``); ``max_workers`` sizes
+    the parallel pools.  All engines produce bit-identical results — they
+    differ only in wall-clock.
     """
 
     k: int = 10
@@ -43,6 +50,8 @@ class JoinConfig:
     metric_name: str = "l2"
     seed: int = 7
     split_size: int = 4096
+    engine: str = DEFAULT_ENGINE
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -51,10 +60,29 @@ class JoinConfig:
             raise ValueError("num_reducers must be >= 1")
         if self.split_size < 1:
             raise ValueError("split_size must be >= 1")
+        if self.engine not in available_engines():
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"available: {', '.join(available_engines())}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
 
     def with_changes(self, **kwargs) -> "JoinConfig":
         """A copy with some fields replaced (sweep helper)."""
         return replace(self, **kwargs)
+
+    def make_runtime(self, **runtime_kwargs) -> LocalRuntime:
+        """Resolve the configured engine into a ready runtime.
+
+        The single seam between join drivers and the execution substrate:
+        drivers never construct runtimes inline, so swapping backends is a
+        config change, not a code change.  ``runtime_kwargs`` pass through to
+        :class:`LocalRuntime` (e.g. ``fault_injector``).
+        """
+        return LocalRuntime(
+            engine=self.engine, max_workers=self.max_workers, **runtime_kwargs
+        )
 
 
 @dataclass

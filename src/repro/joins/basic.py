@@ -18,7 +18,6 @@ from repro.core.knn import knn_of_point
 from repro.core.result import KnnJoinResult
 from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
-from repro.mapreduce.runtime import LocalRuntime
 from repro.mapreduce.splits import dataset_splits
 
 from .base import (
@@ -82,7 +81,7 @@ class BroadcastJoin(KnnJoinAlgorithm):
     def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
         config = self.config
         self._check_inputs(r, s, config.k)
-        runtime = LocalRuntime()
+        runtime = config.make_runtime()
         job_spec = MapReduceJob(
             name="broadcast-join",
             mapper_factory=BroadcastMapper,

@@ -26,7 +26,6 @@ from repro.core.distance import get_metric
 from repro.core.partition import VoronoiPartitioner
 from repro.mapreduce.job import Context, MapReduceJob, Mapper, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
-from repro.mapreduce.runtime import LocalRuntime
 from repro.mapreduce.splits import split_records
 
 from .base import PAIRS_GROUP, PAIRS_NAME, BlockJoinConfig
@@ -136,7 +135,7 @@ class TopKClosestPairs:
             raise ValueError("k exceeds |R| x |S|")
         rng = np.random.default_rng(config.seed)
         master_metric = get_metric(config.metric_name)
-        runtime = LocalRuntime()
+        runtime = config.make_runtime()
 
         selector = make_pivot_selector(_pivot_view(config))
         pivots = selector.select(

@@ -17,7 +17,6 @@ from repro.core.dataset import Dataset
 from repro.core.distance import get_metric
 from repro.core.result import KnnJoinResult
 from repro.mapreduce.job import Context, Reducer
-from repro.mapreduce.runtime import LocalRuntime
 from repro.mapreduce.splits import dataset_splits
 from repro.rtree import RTree
 
@@ -70,7 +69,7 @@ class HBRJ(KnnJoinAlgorithm):
     def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
         config = self.config
         self._check_inputs(r, s, config.k)
-        runtime = LocalRuntime()
+        runtime = config.make_runtime()
 
         job1_spec = block_join_spec(
             name="hbrj-block-join",

@@ -21,7 +21,6 @@ from repro.core.distance import get_metric
 from repro.core.result import KnnJoinResult
 from repro.idistance import IDistanceIndex
 from repro.mapreduce.job import Context, Reducer
-from repro.mapreduce.runtime import LocalRuntime
 from repro.mapreduce.splits import dataset_splits
 
 from .base import (
@@ -77,7 +76,7 @@ class IJoinBlock(KnnJoinAlgorithm):
     def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
         config = self.config
         self._check_inputs(r, s, config.k)
-        runtime = LocalRuntime()
+        runtime = config.make_runtime()
 
         job1_spec = block_join_spec(
             name="ijoin-block-join",

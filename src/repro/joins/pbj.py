@@ -23,7 +23,6 @@ from repro.core.distance import get_metric
 from repro.core.partition import VoronoiPartitioner
 from repro.core.result import KnnJoinResult
 from repro.mapreduce.job import Context, Reducer
-from repro.mapreduce.runtime import LocalRuntime
 from repro.mapreduce.splits import split_records
 
 from .base import (
@@ -97,7 +96,7 @@ class PBJ(KnnJoinAlgorithm):
         self._check_inputs(r, s, config.k)
         rng = np.random.default_rng(config.seed)
         master_metric = self._master_metric()
-        runtime = LocalRuntime()
+        runtime = config.make_runtime()
         phases: dict[str, float] = {}
 
         # pivot selection, exactly as PGBJ's preprocessing

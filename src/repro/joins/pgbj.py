@@ -26,7 +26,6 @@ from repro.grouping import get_grouping_strategy
 from repro.mapreduce.hdfs import DistributedFileSystem
 from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
-from repro.mapreduce.runtime import LocalRuntime
 from repro.pivots import (
     FarthestPivotSelector,
     KMeansPivotSelector,
@@ -139,7 +138,7 @@ class PGBJ(KnnJoinAlgorithm):
         self._check_inputs(r, s, config.k)
         rng = np.random.default_rng(config.seed)
         master_metric = self._master_metric()
-        runtime = LocalRuntime()
+        runtime = config.make_runtime()
         phases: dict[str, float] = {}
 
         # -- preprocessing: pivot selection on the master ---------------------

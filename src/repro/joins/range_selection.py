@@ -26,7 +26,6 @@ from repro.core.geometry import PRUNE_EPS, ring_slice
 from repro.core.partition import VoronoiPartitioner
 from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
-from repro.mapreduce.runtime import LocalRuntime
 from repro.mapreduce.splits import records_from_dataset, split_records
 
 from .base import PAIRS_GROUP, PAIRS_NAME, JoinConfig
@@ -197,7 +196,7 @@ class DistributedRangeSelection:
                 "ring_stats": ring_stats,
             },
         )
-        job = LocalRuntime().run(job_spec, split_records(records, config.split_size))
+        job = config.make_runtime().run(job_spec, split_records(records, config.split_size))
         matches = {query_id: ids for query_id, ids in job.outputs}
         # queries with zero reachable cells never reach a reducer: fill empties
         for row in range(len(queries)):

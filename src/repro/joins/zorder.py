@@ -36,7 +36,6 @@ from repro.core.result import KnnJoinResult
 from repro.core.zorder import ZOrderTransform
 from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
-from repro.mapreduce.runtime import LocalRuntime
 from repro.mapreduce.splits import dataset_splits
 
 from .base import (
@@ -166,7 +165,7 @@ class ZOrderKnnJoin(KnnJoinAlgorithm):
         config = self.config
         self._check_inputs(r, s, config.k)
         rng = np.random.default_rng(config.seed)
-        runtime = LocalRuntime()
+        runtime = config.make_runtime()
 
         # master-side preprocessing: shifts, transform, quantile boundaries
         span = np.maximum(

@@ -9,11 +9,20 @@ one map and one reduce slot each via the scheduling model (``cluster``).
 
 from .cluster import Cluster, schedule_makespan
 from .counters import Counters
+from .engines import (
+    DEFAULT_ENGINE,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_engines,
+    get_executor,
+)
 from .hdfs import DfsFile, DistributedFileSystem
 from .job import Context, Mapper, MapReduceJob, Reducer
 from .partitioners import HashPartitioner, ModPartitioner, Partitioner
 from .runtime import FaultInjector, JobResult, LocalRuntime, TaskFailure
-from .serialization import estimate_bytes
+from .serialization import estimate_bytes, shuffle_sort_key
 from .splits import dataset_splits, records_from_dataset, split_records
 from .stats import JobStats, TaskStat
 from .types import InputSplit, ObjectRecord
@@ -35,7 +44,15 @@ __all__ = [
     "JobResult",
     "TaskFailure",
     "FaultInjector",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "available_engines",
+    "DEFAULT_ENGINE",
     "estimate_bytes",
+    "shuffle_sort_key",
     "dataset_splits",
     "records_from_dataset",
     "split_records",

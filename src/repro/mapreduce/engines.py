@@ -1,0 +1,175 @@
+"""Pluggable task-execution backends for the MapReduce runtime.
+
+The scheduler in :mod:`repro.mapreduce.runtime` decides *what* runs (splits →
+map tasks → combine → shuffle → reduce tasks, retries, accounting); an
+:class:`Executor` decides *how* a batch of independent task attempts runs:
+
+* ``serial`` — in-process, one task at a time; bit-for-bit the historical
+  behavior and the default everywhere.
+* ``threads`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; wins when
+  task kernels spend their time in numpy (which releases the GIL), loses on
+  pure-Python tasks.
+* ``processes`` — a :class:`~concurrent.futures.ProcessPoolExecutor`; true
+  parallelism for pure-Python work at the cost of pickling the job, task
+  payloads and results across process boundaries.  Requires picklable
+  mapper/reducer factories (module-level classes) and cache contents.
+
+All backends receive the same ``(fn, shared, payloads)`` batch and must
+return results **in payload order**; the scheduler relies on that ordering to
+keep outputs, counters and shuffle accounting identical across engines.
+Exceptions raised by ``fn`` propagate to the caller unchanged (the scheduler
+handles :class:`~repro.mapreduce.runtime.TaskFailure` retries itself by
+receiving failure *values*, never exceptions).
+
+Pools are created per batch and torn down with it: a join runs only a handful
+of phases, so pool start-up (cheap under ``fork``) is noise next to task
+work, and nothing leaks when a driver abandons a runtime mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+from typing import Any
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "available_engines",
+    "DEFAULT_ENGINE",
+]
+
+#: the engine every config and runtime falls back to
+DEFAULT_ENGINE = "serial"
+
+
+class Executor(ABC):
+    """Strategy for executing one batch of independent task attempts."""
+
+    #: registry name, surfaced in configs, CLI flags and bench records
+    name: str = "abstract"
+
+    @abstractmethod
+    def run_tasks(
+        self,
+        fn: Callable[[Any, Any], Any],
+        shared: Any,
+        payloads: Sequence[Any],
+    ) -> list[Any]:
+        """Apply ``fn(shared, payload)`` to every payload, in payload order.
+
+        ``shared`` is batch-constant state (the job spec): backends may ship
+        it to workers once instead of once per payload.
+        """
+
+
+def _resolve_workers(max_workers: int | None) -> int:
+    """Worker count: explicit setting, else one per available CPU."""
+    if max_workers is None:
+        return os.cpu_count() or 1
+    if max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    return max_workers
+
+
+class SerialExecutor(Executor):
+    """Deterministic in-process execution — the historical LocalRuntime."""
+
+    name = "serial"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        # accepted for interface uniformity; serial execution ignores it
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+
+    def run_tasks(self, fn, shared, payloads):
+        return [fn(shared, payload) for payload in payloads]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool execution for GIL-releasing (numpy-heavy) task kernels."""
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = _resolve_workers(max_workers)
+
+    def run_tasks(self, fn, shared, payloads):
+        if len(payloads) <= 1 or self.max_workers == 1:
+            return [fn(shared, payload) for payload in payloads]
+        workers = min(self.max_workers, len(payloads))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(partial(fn, shared), payloads))
+
+
+# -- process backend -----------------------------------------------------------
+
+#: per-worker slot for the batch-constant job state (set by the initializer,
+#: read by every task the worker executes — shipped once, not per payload)
+_WORKER_SHARED: Any = None
+
+
+def _worker_init(shared: Any) -> None:
+    global _WORKER_SHARED
+    _WORKER_SHARED = shared
+
+
+def _worker_call(fn: Callable[[Any, Any], Any], payload: Any) -> Any:
+    return fn(_WORKER_SHARED, payload)
+
+
+class ProcessExecutor(Executor):
+    """Process-pool execution: real parallelism, pickling at the boundary.
+
+    The shared job state travels via the pool initializer (once per worker);
+    task payloads and results are pickled per task.  Workers never mutate
+    shared state — counters, side outputs and stats come back as values.
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = _resolve_workers(max_workers)
+
+    def run_tasks(self, fn, shared, payloads):
+        if len(payloads) <= 1 or self.max_workers == 1:
+            return [fn(shared, payload) for payload in payloads]
+        workers = min(self.max_workers, len(payloads))
+        # amortize queue round-trips when tasks vastly outnumber workers
+        chunksize = max(1, len(payloads) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init, initargs=(shared,)
+        ) as pool:
+            return list(
+                pool.map(partial(_worker_call, fn), payloads, chunksize=chunksize)
+            )
+
+
+#: engine name -> executor class; later PRs (async, distributed) register here
+ENGINES: dict[str, type[Executor]] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered engine names, sorted (``serial``, ``threads``, ...)."""
+    return tuple(sorted(ENGINES))
+
+
+def get_executor(engine: str = DEFAULT_ENGINE, max_workers: int | None = None) -> Executor:
+    """Resolve an engine name into a ready executor instance."""
+    try:
+        executor_class = ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; available: {', '.join(available_engines())}"
+        ) from None
+    return executor_class(max_workers=max_workers)

@@ -45,6 +45,15 @@ class Context:
         """Emit a value on a named side channel (collected per task)."""
         self.side_outputs.setdefault(channel, []).append(value)
 
+    def drain(self) -> tuple[Counters, dict[str, list[Any]]]:
+        """Hand the task's accumulated state back to the scheduler.
+
+        Contexts live and die inside one task attempt; parallel engines ship
+        the drained counters and side outputs across the worker boundary as
+        values — shared state is never mutated from a worker.
+        """
+        return self.counters, self.side_outputs
+
 
 class Mapper:
     """Base mapper.  Subclasses override :meth:`map` (a generator)."""
@@ -84,6 +93,11 @@ class MapReduceJob:
     "consists of a single Map phase"); its map output goes to the distributed
     file system rather than through the shuffle, so it contributes no
     shuffling cost.
+
+    Jobs cross the engine boundary whole: to run under the ``processes``
+    engine, factories must be picklable (module-level classes or functions,
+    not lambdas or closures) and cache contents plain data — which every job
+    in this package already satisfies.
     """
 
     name: str

@@ -1,4 +1,4 @@
-"""A deterministic single-process MapReduce runtime.
+"""The MapReduce scheduler plus its pluggable execution engines.
 
 Executes a :class:`~repro.mapreduce.job.MapReduceJob` with real Hadoop
 semantics — input splits to map tasks, optional combiner, partitioned
@@ -6,11 +6,24 @@ shuffle with per-key sorted grouping, reduce tasks — while measuring what the
 paper measures: per-task CPU seconds (fed to the cluster model for simulated
 running time) and shuffle records/bytes.
 
+The runtime is split into two layers:
+
+* :class:`LocalRuntime` — the backend-agnostic *scheduler*.  It plans task
+  batches, owns retry/fault-injection, performs the shuffle, and merges
+  counters, side outputs and stats in deterministic task order.
+* an :class:`~repro.mapreduce.engines.Executor` — the *engine* that runs one
+  batch of independent task attempts: ``serial`` (default), ``threads`` or
+  ``processes``.  Task attempts are pure functions from ``(job, task spec)``
+  to an attempt outcome; workers return counters/side-outputs/durations as
+  values instead of mutating scheduler state, so every engine produces
+  bit-identical outputs and accounting.
+
 Fault tolerance is modelled: a ``fault_injector`` callback may fail any task
-attempt; the runtime re-executes the task (fresh instances from the
+attempt; the scheduler re-executes the task (fresh instances from the
 factories) up to ``max_attempts`` times, and only successful attempts
 contribute output, counters and side outputs — exactly once semantics, as
-Hadoop provides through output commit.
+Hadoop provides through output commit.  Injection is evaluated on the
+scheduler side, so stateful injectors work under every engine.
 """
 
 from __future__ import annotations
@@ -21,8 +34,9 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from .counters import Counters
+from .engines import DEFAULT_ENGINE, Executor, get_executor
 from .job import Context, MapReduceJob
-from .serialization import estimate_bytes
+from .serialization import estimate_bytes, shuffle_sort_key
 from .stats import JobStats, TaskStat
 from .types import InputSplit
 
@@ -52,29 +66,156 @@ class JobResult:
         return [value for _, value in self.outputs]
 
 
+# -- task specs and attempt outcomes (cross the engine boundary; picklable) ----
+
+
+@dataclass
+class _TaskSpec:
+    """One schedulable task: a map split or a pre-grouped reduce input."""
+
+    kind: str  # "map" | "reduce"
+    task_id: str
+    index: int  # position within its phase (split index / reducer index)
+    split: InputSplit | None = None
+    groups: list[tuple[Any, list[Any]]] | None = None  # reduce: key-sorted
+
+    def input_records(self) -> int:
+        if self.kind == "map":
+            return len(self.split.records)
+        return sum(len(values) for _, values in self.groups)
+
+
+@dataclass
+class _AttemptOutcome:
+    """What one task attempt sends back from a worker.
+
+    ``ok=False`` carries a :class:`TaskFailure` message as a *value* — raising
+    inside a pool worker would abort the whole batch, and the retry decision
+    belongs to the scheduler.
+    """
+
+    ok: bool
+    emissions: list[tuple[Any, Any]] = field(default_factory=list)
+    counters: Counters = field(default_factory=Counters)
+    side_outputs: dict[str, list[Any]] = field(default_factory=dict)
+    duration_s: float = 0.0
+    error: str = ""
+    #: the caught exception itself — keeps the user-code traceback for the
+    #: in-process engines (pickling strips tracebacks across processes)
+    cause: TaskFailure | None = None
+
+
 @dataclass
 class _Attempted:
     """Successful task attempt: emissions plus bookkeeping."""
 
     emissions: list[tuple[Any, Any]]
-    context: Context
+    counters: Counters
+    side_outputs: dict[str, list[Any]]
     duration_s: float
     attempts: int
     input_records: int = 0
 
 
+def _execute_attempt(job: MapReduceJob, task: _TaskSpec) -> _AttemptOutcome:
+    """Run one task attempt end to end (module-level: picklable by reference).
+
+    This is the only code that runs inside engine workers; everything it
+    needs arrives through ``job`` and ``task``, and everything it produces
+    leaves through the returned outcome.
+    """
+    ctx = Context(task_id=task.task_id, cache=job.cache, num_reducers=job.num_reducers)
+    # CPU time of this thread, not wall-clock: concurrent workers contending
+    # on the GIL (or the scheduler) must not inflate each other's measured
+    # task cost — simulated running times stay comparable across engines
+    started = time.thread_time()
+    try:
+        if task.kind == "map":
+            emissions = _map_attempt(job, task.split, ctx)
+        else:
+            emissions = _reduce_attempt(job, task.groups, ctx)
+    except TaskFailure as error:
+        return _AttemptOutcome(ok=False, error=str(error), cause=error)
+    duration = time.thread_time() - started
+    counters, side_outputs = ctx.drain()
+    return _AttemptOutcome(
+        ok=True,
+        emissions=emissions,
+        counters=counters,
+        side_outputs=side_outputs,
+        duration_s=duration,
+    )
+
+
+def _map_attempt(
+    job: MapReduceJob, split: InputSplit, ctx: Context
+) -> list[tuple[Any, Any]]:
+    mapper = job.mapper_factory()
+    emissions: list[tuple[Any, Any]] = []
+    mapper.setup(ctx)
+    for key, value in split.records:
+        emissions.extend(mapper.map(key, value, ctx))
+    emissions.extend(mapper.cleanup(ctx))
+    if job.combiner_factory is not None:
+        emissions = _combine(job, emissions, ctx)
+    return emissions
+
+
+def _reduce_attempt(
+    job: MapReduceJob, groups: list[tuple[Any, list[Any]]], ctx: Context
+) -> list[tuple[Any, Any]]:
+    reducer = job.reducer_factory()
+    emissions: list[tuple[Any, Any]] = []
+    reducer.setup(ctx)
+    for key, values in groups:
+        emissions.extend(reducer.reduce(key, values, ctx))
+    emissions.extend(reducer.cleanup(ctx))
+    return emissions
+
+
+def _combine(
+    job: MapReduceJob, emissions: list[tuple[Any, Any]], ctx: Context
+) -> list[tuple[Any, Any]]:
+    """Run the combiner over one map task's output (Hadoop's local reduce)."""
+    grouped: dict[Any, list[Any]] = {}
+    for key, value in emissions:
+        grouped.setdefault(key, []).append(value)
+    combiner = job.combiner_factory()
+    combined: list[tuple[Any, Any]] = []
+    combiner.setup(ctx)
+    for key in sorted(grouped, key=shuffle_sort_key):
+        combined.extend(combiner.reduce(key, grouped[key], ctx))
+    combined.extend(combiner.cleanup(ctx))
+    return combined
+
+
 class LocalRuntime:
-    """Runs jobs in-process, deterministically, with measured task costs."""
+    """Backend-agnostic scheduler: plans tasks, an engine executes them.
+
+    ``engine`` selects an execution backend by name (``serial``, ``threads``,
+    ``processes``); ``max_workers`` sizes the parallel pools (default: CPU
+    count).  Alternatively pass a ready :class:`Executor` instance via
+    ``executor`` — the seam custom backends plug into.
+    """
 
     def __init__(
         self,
         fault_injector: FaultInjector | None = None,
         max_attempts: int = 4,
+        engine: str = DEFAULT_ENGINE,
+        max_workers: int | None = None,
+        executor: Executor | None = None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.fault_injector = fault_injector
         self.max_attempts = max_attempts
+        self.executor = executor if executor is not None else get_executor(engine, max_workers)
+
+    @property
+    def engine(self) -> str:
+        """Name of the execution backend in use."""
+        return self.executor.name
 
     # -- public API -----------------------------------------------------------
 
@@ -85,16 +226,18 @@ class LocalRuntime:
         stats = JobStats(job_name=job.name)
         stats.cache_bytes = _cache_bytes(job.cache)
 
-        map_results = [
-            self._run_map_task(job, split, index) for index, split in enumerate(splits)
+        map_specs = [
+            _TaskSpec(kind="map", task_id=f"{job.name}-m-{index:05d}", index=index, split=split)
+            for index, split in enumerate(splits)
         ]
-        for index, attempt in enumerate(map_results):
-            counters.merge(attempt.context.counters)
-            for channel, values in attempt.context.side_outputs.items():
+        map_results = self._run_phase(job, map_specs)
+        for spec, attempt in zip(map_specs, map_results):
+            counters.merge(attempt.counters)
+            for channel, values in attempt.side_outputs.items():
                 side_outputs.setdefault(channel, []).extend(values)
             stats.map_tasks.append(
                 TaskStat(
-                    task_id=f"{job.name}-m-{index:05d}",
+                    task_id=spec.task_id,
                     kind="map",
                     duration_s=attempt.duration_s,
                     input_records=attempt.input_records,
@@ -111,10 +254,29 @@ class LocalRuntime:
 
         buckets = self._shuffle(job, map_results, stats)
 
+        reduce_specs = [
+            _TaskSpec(
+                kind="reduce",
+                task_id=f"{job.name}-r-{reducer_index:05d}",
+                index=reducer_index,
+                groups=sorted(
+                    bucket.items(), key=lambda item: shuffle_sort_key(item[0])
+                ),
+            )
+            for reducer_index, bucket in enumerate(buckets)
+            if bucket
+        ]
+        reduce_results = dict(
+            zip(
+                (spec.index for spec in reduce_specs),
+                self._run_phase(job, reduce_specs),
+            )
+        )
+
         outputs_by_reducer: list[list[tuple[Any, Any]]] = []
         for reducer_index in range(job.num_reducers):
-            grouped = buckets[reducer_index]
-            if not grouped:
+            attempt = reduce_results.get(reducer_index)
+            if attempt is None:
                 outputs_by_reducer.append([])
                 stats.reduce_tasks.append(
                     TaskStat(
@@ -126,9 +288,8 @@ class LocalRuntime:
                     )
                 )
                 continue
-            attempt = self._run_reduce_task(job, grouped, reducer_index)
-            counters.merge(attempt.context.counters)
-            for channel, values in attempt.context.side_outputs.items():
+            counters.merge(attempt.counters)
+            for channel, values in attempt.side_outputs.items():
                 side_outputs.setdefault(channel, []).extend(values)
             outputs_by_reducer.append(attempt.emissions)
             stats.reduce_tasks.append(
@@ -146,64 +307,69 @@ class LocalRuntime:
         stats.output_bytes = _pairs_bytes(outputs)
         return JobResult(job.name, outputs, outputs_by_reducer, side_outputs, counters, stats)
 
-    # -- phases ----------------------------------------------------------------
+    # -- phase scheduling -------------------------------------------------------
 
-    def _run_map_task(
-        self, job: MapReduceJob, split: InputSplit, index: int
-    ) -> _Attempted:
-        task_id = f"{job.name}-m-{index:05d}"
+    def _run_phase(self, job: MapReduceJob, specs: list[_TaskSpec]) -> list[_Attempted]:
+        """Run one phase's tasks through the engine, with scheduler-side retries.
 
-        def attempt_once(ctx: Context) -> list[tuple[Any, Any]]:
-            mapper = job.mapper_factory()
-            emissions: list[tuple[Any, Any]] = []
-            mapper.setup(ctx)
-            for key, value in split.records:
-                emissions.extend(mapper.map(key, value, ctx))
-            emissions.extend(mapper.cleanup(ctx))
-            if job.combiner_factory is not None:
-                emissions = self._combine(job, emissions, ctx)
-            return emissions
+        Each round dispatches every still-pending task as one engine batch;
+        failed attempts (injected or raised as :class:`TaskFailure` by user
+        code) re-enter the next round until they succeed or exhaust
+        ``max_attempts``.  Results come back in spec order regardless of how
+        many rounds their tasks needed.
+        """
+        completed: dict[int, _Attempted] = {}
+        attempts_used = {spec.index: 0 for spec in specs}
+        pending = list(specs)
+        while pending:
+            dispatch: list[_TaskSpec] = []
+            retry: list[_TaskSpec] = []
+            for spec in pending:
+                attempts_used[spec.index] += 1
+                number = attempts_used[spec.index]
+                if self.fault_injector is not None and self.fault_injector(
+                    spec.kind, spec.task_id, number
+                ):
+                    cause = TaskFailure(
+                        f"injected failure of {spec.task_id} attempt {number}"
+                    )
+                    self._check_attempts_left(spec, number, cause)
+                    retry.append(spec)
+                else:
+                    dispatch.append(spec)
+            outcomes = (
+                self.executor.run_tasks(_execute_attempt, job, dispatch)
+                if dispatch
+                else []
+            )
+            for spec, outcome in zip(dispatch, outcomes):
+                if outcome.ok:
+                    completed[spec.index] = _Attempted(
+                        emissions=outcome.emissions,
+                        counters=outcome.counters,
+                        side_outputs=outcome.side_outputs,
+                        duration_s=outcome.duration_s,
+                        attempts=attempts_used[spec.index],
+                        input_records=spec.input_records(),
+                    )
+                else:
+                    cause = outcome.cause or TaskFailure(outcome.error)
+                    self._check_attempts_left(
+                        spec, attempts_used[spec.index], cause
+                    )
+                    retry.append(spec)
+            pending = retry
+        return [completed[spec.index] for spec in specs]
 
-        attempt = self._with_retries("map", task_id, job, attempt_once)
-        attempt.input_records = len(split.records)
-        return attempt
+    def _check_attempts_left(
+        self, spec: _TaskSpec, number: int, cause: TaskFailure
+    ) -> None:
+        if number >= self.max_attempts:
+            raise TaskFailure(
+                f"task {spec.task_id} failed after {self.max_attempts} attempts"
+            ) from cause
 
-    def _run_reduce_task(
-        self,
-        job: MapReduceJob,
-        grouped: dict[Any, list[Any]],
-        reducer_index: int,
-    ) -> _Attempted:
-        task_id = f"{job.name}-r-{reducer_index:05d}"
-        sorted_keys = sorted(grouped)
-
-        def attempt_once(ctx: Context) -> list[tuple[Any, Any]]:
-            reducer = job.reducer_factory()
-            emissions: list[tuple[Any, Any]] = []
-            reducer.setup(ctx)
-            for key in sorted_keys:
-                emissions.extend(reducer.reduce(key, grouped[key], ctx))
-            emissions.extend(reducer.cleanup(ctx))
-            return emissions
-
-        attempt = self._with_retries("reduce", task_id, job, attempt_once)
-        attempt.input_records = sum(len(v) for v in grouped.values())
-        return attempt
-
-    def _combine(
-        self, job: MapReduceJob, emissions: list[tuple[Any, Any]], ctx: Context
-    ) -> list[tuple[Any, Any]]:
-        """Run the combiner over one map task's output (Hadoop's local reduce)."""
-        grouped: dict[Any, list[Any]] = {}
-        for key, value in emissions:
-            grouped.setdefault(key, []).append(value)
-        combiner = job.combiner_factory()
-        combined: list[tuple[Any, Any]] = []
-        combiner.setup(ctx)
-        for key in sorted(grouped):
-            combined.extend(combiner.reduce(key, grouped[key], ctx))
-        combined.extend(combiner.cleanup(ctx))
-        return combined
+    # -- shuffle ----------------------------------------------------------------
 
     def _shuffle(
         self,
@@ -229,39 +395,6 @@ class LocalRuntime:
         stats.shuffle_records = shuffle_records
         stats.shuffle_bytes = shuffle_bytes
         return buckets
-
-    # -- retry machinery ----------------------------------------------------------
-
-    def _with_retries(
-        self,
-        kind: str,
-        task_id: str,
-        job: MapReduceJob,
-        attempt_once: Callable[[Context], list[tuple[Any, Any]]],
-    ) -> _Attempted:
-        last_error: Exception | None = None
-        for attempt_number in range(1, self.max_attempts + 1):
-            ctx = Context(task_id=task_id, cache=job.cache, num_reducers=job.num_reducers)
-            started = time.perf_counter()
-            try:
-                if self.fault_injector is not None and self.fault_injector(
-                    kind, task_id, attempt_number
-                ):
-                    raise TaskFailure(f"injected failure of {task_id} attempt {attempt_number}")
-                emissions = attempt_once(ctx)
-            except TaskFailure as error:
-                last_error = error
-                continue
-            duration = time.perf_counter() - started
-            return _Attempted(
-                emissions=emissions,
-                context=ctx,
-                duration_s=duration,
-                attempts=attempt_number,
-            )
-        raise TaskFailure(
-            f"task {task_id} failed after {self.max_attempts} attempts"
-        ) from last_error
 
 
 def _cache_bytes(cache: dict[str, Any]) -> int:

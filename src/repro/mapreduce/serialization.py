@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["estimate_bytes"]
+__all__ = ["estimate_bytes", "shuffle_sort_key"]
 
 #: per-container framing overhead (length prefix), bytes
 _FRAME = 4
@@ -51,3 +51,28 @@ def estimate_bytes(obj: object) -> int:
         f"cannot estimate serialized size of {type(obj).__name__}; "
         "add an estimated_bytes() method"
     )
+
+
+def shuffle_sort_key(key: object) -> tuple:
+    """Total-order sort key for heterogeneous shuffle keys.
+
+    Hadoop sorts serialized bytes, so a job may freely mix key types; naive
+    ``sorted(keys)`` raises ``TypeError`` as soon as e.g. ``int`` and ``str``
+    keys meet in one reducer.  This key ranks values by a type class first
+    (numbers < strings < bytes < sequences < everything else) and compares
+    natively within a class, so same-type jobs keep their historical order
+    and mixed-type jobs get a deterministic one.
+    """
+    if key is None:
+        return (0, 0)
+    if isinstance(key, (bool, int, float, np.integer, np.floating)):
+        return (1, key)  # mixed numerics compare exactly, no float coercion
+    if isinstance(key, str):
+        return (2, key)
+    if isinstance(key, (bytes, bytearray)):
+        return (3, bytes(key))
+    if isinstance(key, (tuple, list)):
+        return (4, tuple(shuffle_sort_key(item) for item in key))
+    # exotic same-type keys still work if orderable; unorderable ones raise,
+    # as they always did
+    return (5, type(key).__name__, key)

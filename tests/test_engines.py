@@ -1,0 +1,289 @@
+"""Cross-engine equivalence: serial, threads and processes must agree bit-for-bit.
+
+The engine layer's contract is that backends change wall-clock only: outputs,
+counters, side outputs and shuffle accounting are identical across engines —
+for a representative plain MapReduce job and for whole join algorithms
+(PGBJ and the z-order join, per the issue's acceptance criteria).
+
+All task classes live at module level so the ``processes`` engine can pickle
+the job by reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_forest
+from repro.joins import PGBJ, PgbjConfig, ZOrderConfig, ZOrderKnnJoin
+from repro.mapreduce import (
+    Context,
+    HashPartitioner,
+    LocalRuntime,
+    Mapper,
+    MapReduceJob,
+    Reducer,
+    TaskFailure,
+    available_engines,
+    get_executor,
+    shuffle_sort_key,
+    split_records,
+)
+
+ENGINES = ("serial", "threads", "processes")
+
+
+class VectorNormMapper(Mapper):
+    """Numpy-heavy mapper with counters and a side output per task."""
+
+    def setup(self, ctx: Context) -> None:
+        self._rows = 0
+
+    def map(self, key, value, ctx: Context):
+        vector = np.asarray(value, dtype=np.float64)
+        self._rows += 1
+        ctx.counters.incr("norms", "rows")
+        yield int(key) % 3, float(np.linalg.norm(vector))
+
+    def cleanup(self, ctx: Context):
+        ctx.side_output("rows_per_task", self._rows)
+        return ()
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, ctx: Context):
+        ctx.counters.incr("norms", "groups")
+        yield key, round(sum(values), 9)
+
+
+def norm_job(combiner: bool = False) -> MapReduceJob:
+    return MapReduceJob(
+        name="norms",
+        mapper_factory=VectorNormMapper,
+        reducer_factory=SumReducer,
+        combiner_factory=SumReducer if combiner else None,
+        partitioner=HashPartitioner(),
+        num_reducers=4,
+    )
+
+
+def norm_splits(rows: int = 64, split_size: int = 8):
+    rng = np.random.default_rng(11)
+    records = [(i, rng.random(6).tolist()) for i in range(rows)]
+    return split_records(records, split_size)
+
+
+class MixedKeyMapper(Mapper):
+    """Emits int and str keys from the same task — Hadoop allows this."""
+
+    def map(self, key, value, ctx: Context):
+        yield int(key), 1
+        yield f"tag-{int(key) % 2}", 1
+
+
+class CountReducer(Reducer):
+    """Sums the mapper's 1s — associative, so it doubles as a combiner."""
+
+    def reduce(self, key, values, ctx: Context):
+        yield key, sum(values)
+
+
+def job_fingerprint(result):
+    """Everything that must match across engines (timings excluded)."""
+    return {
+        "outputs": result.outputs,
+        "outputs_by_reducer": result.outputs_by_reducer,
+        "side_outputs": result.side_outputs,
+        "counters": result.counters.as_dict(),
+        "shuffle_records": result.stats.shuffle_records,
+        "shuffle_bytes": result.stats.shuffle_bytes,
+        "output_bytes": result.stats.output_bytes,
+        "map_io": [(t.input_records, t.output_records) for t in result.stats.map_tasks],
+        "reduce_io": [
+            (t.input_records, t.output_records) for t in result.stats.reduce_tasks
+        ],
+    }
+
+
+def outcome_fingerprint(outcome):
+    """Join-level equivalence: results, counters and shuffle accounting."""
+    return {
+        "pairs": sorted(outcome.result.pairs()),
+        "counters": outcome.counters.as_dict(),
+        "shuffle_records": outcome.shuffle_records(),
+        "shuffle_bytes": outcome.shuffle_bytes(),
+        "replication": outcome.replication_of_s(),
+    }
+
+
+class TestEngineRegistry:
+    def test_available_engines(self):
+        assert set(ENGINES) <= set(available_engines())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            get_executor("gpu-cluster")
+        with pytest.raises(ValueError, match="unknown engine"):
+            LocalRuntime(engine="gpu-cluster")
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            get_executor("threads", max_workers=0)
+
+    def test_runtime_reports_engine(self):
+        assert LocalRuntime().engine == "serial"
+        assert LocalRuntime(engine="threads", max_workers=2).engine == "threads"
+
+    def test_config_validates_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            PgbjConfig(engine="hadoop")
+        with pytest.raises(ValueError, match="max_workers"):
+            PgbjConfig(engine="threads", max_workers=0)
+
+    def test_config_resolves_runtime(self):
+        runtime = PgbjConfig(engine="threads", max_workers=2).make_runtime()
+        assert runtime.engine == "threads"
+
+
+class TestCrossEngineJob:
+    """One representative job: identical outputs, counters, accounting."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return job_fingerprint(LocalRuntime().run(norm_job(), norm_splits()))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_job_equivalence(self, engine, reference):
+        runtime = LocalRuntime(engine=engine, max_workers=2)
+        assert job_fingerprint(runtime.run(norm_job(), norm_splits())) == reference
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_job_equivalence_with_combiner(self, engine):
+        reference = job_fingerprint(
+            LocalRuntime().run(norm_job(combiner=True), norm_splits())
+        )
+        runtime = LocalRuntime(engine=engine, max_workers=2)
+        result = runtime.run(norm_job(combiner=True), norm_splits())
+        assert job_fingerprint(result) == reference
+
+
+class TestCrossEngineRetries:
+    """Fault injection is scheduler-side, so it works under every engine."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_injected_failures_retried(self, engine):
+        def injector(kind, task_id, attempt):
+            return kind == "map" and attempt == 1
+
+        plain = LocalRuntime().run(norm_job(), norm_splits())
+        runtime = LocalRuntime(
+            fault_injector=injector, engine=engine, max_workers=2
+        )
+        result = runtime.run(norm_job(), norm_splits())
+        assert result.outputs == plain.outputs
+        assert result.counters.as_dict() == plain.counters.as_dict()
+        assert all(t.attempts == 2 for t in result.stats.map_tasks)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_permanent_failure_raises(self, engine):
+        runtime = LocalRuntime(
+            fault_injector=lambda *a: True, max_attempts=2,
+            engine=engine, max_workers=2,
+        )
+        with pytest.raises(TaskFailure, match="after 2 attempts"):
+            runtime.run(norm_job(), norm_splits())
+
+
+class TestCrossEngineJoins:
+    """Whole join algorithms agree across engines (issue acceptance)."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_forest(240, seed=3)
+
+    def pgbj_outcome(self, data, engine):
+        config = PgbjConfig(
+            k=3, num_reducers=4, num_pivots=12, split_size=64,
+            engine=engine, max_workers=2,
+        )
+        return PGBJ(config).run(data, data)
+
+    def zorder_outcome(self, data, engine):
+        config = ZOrderConfig(
+            k=3, num_reducers=4, num_shifts=2, split_size=64,
+            engine=engine, max_workers=2,
+        )
+        return ZOrderKnnJoin(config).run(data, data)
+
+    @pytest.mark.parametrize("engine", ("threads", "processes"))
+    def test_pgbj_equivalence(self, data, engine):
+        serial = self.pgbj_outcome(data, "serial")
+        parallel = self.pgbj_outcome(data, engine)
+        assert outcome_fingerprint(parallel) == outcome_fingerprint(serial)
+        assert [s.shuffle_bytes for s in parallel.job_stats] == [
+            s.shuffle_bytes for s in serial.job_stats
+        ]
+
+    @pytest.mark.parametrize("engine", ("threads", "processes"))
+    def test_zorder_equivalence(self, data, engine):
+        serial = self.zorder_outcome(data, "serial")
+        parallel = self.zorder_outcome(data, engine)
+        assert outcome_fingerprint(parallel) == outcome_fingerprint(serial)
+
+
+class TestMixedTypeShuffleKeys:
+    """Regression: mixed int/str keys used to crash ``sorted(grouped)``."""
+
+    def mixed_job(self, num_reducers=1, combiner=False):
+        return MapReduceJob(
+            name="mixed",
+            mapper_factory=MixedKeyMapper,
+            reducer_factory=CountReducer,
+            combiner_factory=CountReducer if combiner else None,
+            partitioner=HashPartitioner(),
+            num_reducers=num_reducers,
+        )
+
+    def test_mixed_keys_run(self):
+        splits = split_records([(i, i) for i in range(6)], 3)
+        result = LocalRuntime().run(self.mixed_job(), splits)
+        as_dict = dict(result.outputs)
+        assert as_dict["tag-0"] == 3 and as_dict["tag-1"] == 3
+        assert all(as_dict[i] == 1 for i in range(6))
+
+    def test_mixed_keys_with_combiner(self):
+        splits = split_records([(i, i) for i in range(6)], 3)
+        result = LocalRuntime().run(self.mixed_job(combiner=True), splits)
+        assert dict(result.outputs)["tag-0"] == 3
+
+    def test_mixed_keys_deterministic_across_engines(self):
+        splits = split_records([(i, i) for i in range(8)], 2)
+        reference = LocalRuntime().run(self.mixed_job(num_reducers=3), splits)
+        for engine in ENGINES:
+            runtime = LocalRuntime(engine=engine, max_workers=2)
+            result = runtime.run(self.mixed_job(num_reducers=3), splits)
+            assert result.outputs == reference.outputs
+
+    def test_object_record_pickle_roundtrip(self):
+        # __reduce__ uses positional args derived from the field list; a
+        # field-order drift would scramble records in the processes engine
+        import pickle
+
+        from repro.mapreduce import ObjectRecord
+
+        record = ObjectRecord(
+            dataset="S", object_id=7, point=np.array([1.0, 2.0]),
+            payload=3, partition_id=5, pivot_distance=0.25,
+        )
+        clone = pickle.loads(pickle.dumps(record))
+        assert type(clone) is ObjectRecord
+        for spec in ("dataset", "object_id", "payload", "partition_id", "pivot_distance"):
+            assert getattr(clone, spec) == getattr(record, spec), spec
+        assert np.array_equal(clone.point, record.point)
+
+    def test_sort_key_total_order(self):
+        keys = ["b", 2, (1, "x"), None, 1.5, b"raw", "a", (1, 2), True]
+        ordered = sorted(keys, key=shuffle_sort_key)
+        assert sorted(ordered, key=shuffle_sort_key) == ordered
+        # numbers keep native numeric order, unpolluted by type names
+        assert [k for k in ordered if isinstance(k, (int, float))] == [True, 1.5, 2]
