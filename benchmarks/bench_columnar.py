@@ -1,0 +1,297 @@
+"""Columnar fast path vs the seed per-record path, measured head to head.
+
+Two micro benchmarks, both asserting bit-identical results before reporting
+any timing (the identical-results contract is the point of the columnar
+refactor, the speedup is the reward):
+
+* **reducer kernel** — the Algorithm 3 kernel over one reducer's worth of
+  data: :func:`repro.joins.kernels.knn_join_kernel` (vectorized pruning,
+  argpartition k-best) against :func:`knn_join_kernel_reference` (the seed
+  per-record scan, full-lexsort k-best).  Same neighbor lists, same
+  ``pairs_computed``, wall-clock compared.
+* **shuffle** — the same records moved through a small MapReduce job once as
+  per-record emissions and once as :class:`~repro.mapreduce.types.RecordBlock`
+  batches.  Same shuffle record/byte accounting, same grouped outputs,
+  wall-clock compared.
+
+Run standalone (this is what the CI perf-smoke step does at tiny sizes, and
+what produces ``results/BENCH_kernels.json`` at full size)::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py          # 10k x 10k, d=8, k=10
+    PYTHONPATH=src python benchmarks/bench_columnar.py --smoke  # tiny, CI-friendly
+
+or as a pytest-benchmark suite: ``pytest benchmarks/bench_columnar.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core import Dataset, VoronoiPartitioner, get_metric
+from repro.core.bounds import compute_thetas
+from repro.core.summary import build_partial_summary
+from repro.joins.kernels import (
+    build_r_blocks,
+    build_s_blocks,
+    knn_join_kernel,
+    knn_join_kernel_reference,
+)
+from repro.mapreduce import (
+    BlockBufferingMapper,
+    Context,
+    LocalRuntime,
+    Mapper,
+    MapReduceJob,
+    ModPartitioner,
+    RecordBlock,
+    Reducer,
+    record_count,
+    split_records,
+)
+from repro.mapreduce.types import ObjectRecord
+
+
+# -- reducer-kernel micro benchmark --------------------------------------------
+
+
+def _kernel_world(num_r: int, num_s: int, dims: int, k: int, num_pivots: int, seed: int):
+    """One reducer's worth of partitioned data (PGBJ-style global bounds)."""
+    rng = np.random.default_rng(seed)
+    r = Dataset(rng.random((num_r, dims)), name="r")
+    s = Dataset(rng.random((num_s, dims)), ids=np.arange(10**6, 10**6 + num_s), name="s")
+    metric = get_metric("l2")
+    pivots = rng.random((num_pivots, dims))
+    partitioner = VoronoiPartitioner(pivots, metric)
+    ar, as_ = partitioner.assign(r), partitioner.assign(s)
+    tr = build_partial_summary(ar.partition_ids, ar.pivot_distances, 0)
+    ts = build_partial_summary(as_.partition_ids, as_.pivot_distances, k)
+    pdm = partitioner.pivot_distance_matrix()
+    thetas = compute_thetas(tr, ts, pdm, k)
+    ring = {pid: (ts.get(pid).lower, ts.get(pid).upper) for pid in ts.partition_ids()}
+
+    def one_block(dataset, assignment, from_r=False):
+        return RecordBlock(
+            is_r=np.full(len(dataset), from_r, dtype=bool),
+            object_ids=dataset.ids.astype(np.int64),
+            points=dataset.points.astype(np.float64),
+            payloads=np.zeros(len(dataset), dtype=np.int64),
+            partition_ids=assignment.partition_ids.astype(np.int64),
+            pivot_distances=assignment.pivot_distances.astype(np.float64),
+        )
+
+    r_blocks = build_r_blocks(one_block(r, ar, from_r=True))
+    s_blocks = build_s_blocks(one_block(s, as_))
+    return r_blocks, s_blocks, thetas, ring, pivots, pdm
+
+
+def reducer_kernel_micro(
+    num_r: int = 10_000,
+    num_s: int = 10_000,
+    dims: int = 8,
+    k: int = 10,
+    num_pivots: int = 128,
+    seed: int = 0,
+    repeats: int = 3,
+) -> dict:
+    """Time both kernels on the same world; assert bit-identical outputs.
+
+    Wall-clock is the best of ``repeats`` runs per kernel (the standard
+    noise-robust estimator — both kernels are deterministic, so the minimum
+    is the least-perturbed measurement).
+    """
+    world = _kernel_world(num_r, num_s, dims, k, num_pivots, seed)
+
+    def run(kernel):
+        best_wall, pairs, results = float("inf"), 0, {}
+        for _ in range(max(1, repeats)):
+            metric = get_metric("l2")
+            started = time.perf_counter()
+            results = {
+                r_id: (ids, dists) for r_id, ids, dists in kernel(metric, k, *world)
+            }
+            best_wall = min(best_wall, time.perf_counter() - started)
+            pairs = metric.pairs_computed
+        return best_wall, pairs, results
+
+    wall_reference, pairs_reference, reference = run(knn_join_kernel_reference)
+    wall_vectorized, pairs_vectorized, vectorized = run(knn_join_kernel)
+
+    assert pairs_vectorized == pairs_reference, (
+        f"pairs_computed drifted: {pairs_vectorized} != {pairs_reference}"
+    )
+    assert set(vectorized) == set(reference)
+    for r_id, (ids, dists) in reference.items():
+        got_ids, got_dists = vectorized[r_id]
+        assert np.array_equal(got_ids, ids), f"neighbor ids differ for r={r_id}"
+        assert np.array_equal(got_dists, dists), f"distances differ for r={r_id}"
+
+    return {
+        "num_r": num_r,
+        "num_s": num_s,
+        "dims": dims,
+        "k": k,
+        "num_pivots": num_pivots,
+        "pairs_computed": int(pairs_reference),
+        "reference_seconds": wall_reference,
+        "vectorized_seconds": wall_vectorized,
+        "speedup": wall_reference / wall_vectorized if wall_vectorized else float("inf"),
+    }
+
+
+# -- shuffle micro benchmark ---------------------------------------------------
+
+
+class PerRecordRoutingMapper(Mapper):
+    """Seed-style shuffle: one emission per object."""
+
+    def map(self, key, value, ctx: Context):
+        yield int(value.object_id) % ctx.num_reducers, value
+
+
+class ColumnarRoutingMapper(BlockBufferingMapper):
+    """Columnar shuffle: one emission per (task, reducer) sub-block."""
+
+    def route_block(self, block: RecordBlock, ctx: Context):
+        yield from block.split_by(block.object_ids % ctx.num_reducers)
+
+
+class CountingReducer(Reducer):
+    """Record-weighted count per key — block encoding must not show."""
+
+    def reduce(self, key, values, ctx: Context):
+        yield key, sum(record_count(value) for value in values)
+
+
+def shuffle_micro(
+    num_records: int = 200_000,
+    dims: int = 8,
+    num_reducers: int = 8,
+    repeats: int = 3,
+) -> dict:
+    """Move the same records through the shuffle both ways; compare."""
+    rng = np.random.default_rng(1)
+    points = rng.random((num_records, dims))
+    records = [
+        (row, ObjectRecord(dataset="S", object_id=row, point=points[row]))
+        for row in range(num_records)
+    ]
+    splits = split_records(records, max(1, num_records // 16))
+
+    def run(mapper_factory):
+        job = MapReduceJob(
+            name="shuffle-micro",
+            mapper_factory=mapper_factory,
+            reducer_factory=CountingReducer,
+            partitioner=ModPartitioner(),
+            num_reducers=num_reducers,
+        )
+        best_wall, result = float("inf"), None
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            result = LocalRuntime().run(job, splits)
+            best_wall = min(best_wall, time.perf_counter() - started)
+        return best_wall, result
+
+    wall_per_record, per_record = run(PerRecordRoutingMapper)
+    wall_columnar, columnar = run(ColumnarRoutingMapper)
+
+    assert per_record.stats.shuffle_records == num_records
+    assert columnar.stats.shuffle_records == num_records, (
+        "columnar shuffle must account records, not blocks"
+    )
+    assert dict(columnar.outputs) == dict(per_record.outputs)
+
+    return {
+        "num_records": num_records,
+        "dims": dims,
+        "per_record_seconds": wall_per_record,
+        "columnar_seconds": wall_columnar,
+        "speedup": wall_per_record / wall_columnar if wall_columnar else float("inf"),
+        "shuffle_records": per_record.stats.shuffle_records,
+    }
+
+
+# -- pytest-benchmark entry points ---------------------------------------------
+
+
+def test_bench_columnar_kernel(benchmark, exhibit_runner):
+    from repro.bench import kernels_baseline
+
+    micro = {
+        "kernel": reducer_kernel_micro(num_r=2000, num_s=2000),
+        "shuffle": shuffle_micro(num_records=50_000),
+    }
+    result = exhibit_runner(kernels_baseline, micro=micro)
+    assert result.data["micro"]["kernel"]["speedup"] > 0
+    assert result.data["micro"]["shuffle"]["shuffle_records"] == 50_000
+
+
+# -- standalone runner (CI perf smoke + full baseline) -------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-r", type=int, default=10_000)
+    parser.add_argument("--num-s", type=int, default=10_000)
+    parser.add_argument("--dims", type=int, default=8)
+    parser.add_argument("--k", type=int, default=10)
+    # pivots track data size in this repo's laptop-scale convention
+    # (DEFAULTS: 128 pivots per ~3k objects); 128 at 10k is conservative
+    parser.add_argument("--num-pivots", type=int, default=128)
+    parser.add_argument("--shuffle-records", type=int, default=200_000)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes, equality checks only (CI): no timing gate, no JSON",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="where BENCH_kernels.json lands (full runs only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        kernel = reducer_kernel_micro(num_r=300, num_s=400, num_pivots=12, k=5)
+        shuffle = shuffle_micro(num_records=5_000)
+        print(f"kernel ok: identical results, pairs={kernel['pairs_computed']}")
+        print(f"shuffle ok: identical accounting, records={shuffle['shuffle_records']}")
+        return 0
+
+    kernel = reducer_kernel_micro(
+        num_r=args.num_r,
+        num_s=args.num_s,
+        dims=args.dims,
+        k=args.k,
+        num_pivots=args.num_pivots,
+    )
+    shuffle = shuffle_micro(num_records=args.shuffle_records, dims=args.dims)
+    print(
+        f"reducer kernel {args.num_r}x{args.num_s} d={args.dims} k={args.k}: "
+        f"reference {kernel['reference_seconds']:.3f}s, "
+        f"vectorized {kernel['vectorized_seconds']:.3f}s, "
+        f"speedup {kernel['speedup']:.2f}x "
+        f"(pairs={kernel['pairs_computed']}, identical results)"
+    )
+    print(
+        f"shuffle {shuffle['num_records']} records: "
+        f"per-record {shuffle['per_record_seconds']:.3f}s, "
+        f"columnar {shuffle['columnar_seconds']:.3f}s, "
+        f"speedup {shuffle['speedup']:.2f}x (identical accounting)"
+    )
+
+    from repro.bench import kernels_baseline
+
+    record = kernels_baseline(micro={"kernel": kernel, "shuffle": shuffle})
+    path = record.save(args.results_dir)
+    print(record.show())
+    print(f"saved {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -25,6 +26,8 @@ from repro.joins import (
     BlockJoinConfig,
     JoinOutcome,
     PgbjConfig,
+    ZOrderConfig,
+    ZOrderKnnJoin,
 )
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.engines import DEFAULT_ENGINE, available_engines
@@ -41,6 +44,8 @@ __all__ = [
     "run_pgbj",
     "run_pbj",
     "run_hbrj",
+    "run_zorder",
+    "kernels_baseline",
     "ExperimentResult",
     "DEFAULTS",
 ]
@@ -177,6 +182,88 @@ def run_hbrj(r: Dataset, s: Dataset, **overrides) -> JoinOutcome:
     params.update(overrides)
     params.pop("num_pivots", None)  # H-BRJ has no pivots
     return HBRJ(BlockJoinConfig(**params)).run(r, s)
+
+
+def run_zorder(r: Dataset, s: Dataset, **overrides) -> JoinOutcome:
+    """Run the approximate z-order join with bench defaults."""
+    params = {
+        "k": DEFAULTS["k"],
+        "num_reducers": DEFAULTS["num_reducers"],
+        "split_size": DEFAULTS["split_size"],
+        **_engine_params(),
+    }
+    params.update(overrides)
+    params.pop("num_pivots", None)  # the z-order join has no pivots
+    return ZOrderKnnJoin(ZOrderConfig(**params)).run(r, s)
+
+
+# -- kernel performance trajectory ---------------------------------------------
+
+
+def kernels_baseline(
+    micro: dict[str, Any] | None = None, seed: int = 0
+) -> ExperimentResult:
+    """The ``BENCH_kernels`` record: the repository's kernel perf trajectory.
+
+    Runs a fixed PGBJ / PBJ / z-order workload and captures real wall-clock
+    seconds plus the deterministic cost counters (``pairs_computed``, shuffle
+    records/bytes) — so successive PRs can compare kernels on both time
+    (machine-dependent) and work (machine-independent).  ``micro`` attaches
+    the ``bench_columnar`` micro-benchmark numbers (per-record vs columnar
+    kernels/shuffle) to the same record.
+
+    Save with ``kernels_baseline(...).save()`` → ``results/BENCH_kernels.json``.
+    """
+    data = forest_workload(seed=seed)
+    runners = {
+        "pgbj": run_pgbj,
+        "pbj": run_pbj,
+        "zorder": run_zorder,
+    }
+    raw: dict[str, Any] = {}
+    rows = []
+    for name, runner in runners.items():
+        started = time.perf_counter()
+        outcome = runner(data, data, seed=seed)
+        wall = time.perf_counter() - started
+        raw[name] = {
+            "wall_seconds": wall,
+            "pairs_computed": outcome.distance_pairs,
+            "selectivity_permille": outcome.selectivity() * 1000,
+            "shuffle_records": outcome.shuffle_records(),
+            "shuffle_mb": outcome.shuffle_bytes() / 1e6,
+        }
+        rows.append(
+            [
+                name,
+                round(wall, 3),
+                outcome.distance_pairs,
+                outcome.shuffle_records(),
+                round(outcome.shuffle_bytes() / 1e6, 3),
+            ]
+        )
+    if micro is not None:
+        raw["micro"] = micro
+    from repro.metrics import format_table
+
+    text = format_table(
+        ["algorithm", "wall seconds", "pairs computed", "shuffle records", "shuffle MB"],
+        rows,
+        title="Kernel baseline: fixed workload, wall-clock + deterministic cost",
+    )
+    return ExperimentResult(
+        exhibit="BENCH_kernels",
+        title="Reducer-kernel performance baseline",
+        text=text,
+        data=raw,
+        params={
+            "objects": len(data),
+            "k": DEFAULTS["k"],
+            "num_reducers": DEFAULTS["num_reducers"],
+            "num_pivots": scaled_pivots(DEFAULTS["num_pivots"]),
+            "seed": seed,
+        },
+    )
 
 
 # -- result records ------------------------------------------------------------

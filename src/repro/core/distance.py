@@ -19,6 +19,7 @@ call computing ``m`` distances counts ``m`` pairs).
 from __future__ import annotations
 
 import math
+import re
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -57,6 +58,19 @@ class Metric(ABC):
     def _one_to_many(self, a: np.ndarray, bs: np.ndarray) -> np.ndarray:
         """Distances from point ``a`` (1-d) to each row of ``bs`` (2-d)."""
 
+    def _pairwise(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Row-aligned distances ``|xs[i], ys[i]|`` (both 2-d, same shape).
+
+        Subclasses override with a vectorized kernel that matches
+        :meth:`_one_to_many` element for element (same IEEE operations), so
+        gather-based batch scans are bit-identical to per-query scans.
+        """
+        return np.fromiter(
+            (self._pair(x, y) for x, y in zip(xs, ys)),
+            dtype=np.float64,
+            count=xs.shape[0],
+        )
+
     # -- public, counted entry points --------------------------------------
 
     def distance(self, a: np.ndarray, b: np.ndarray) -> float:
@@ -73,6 +87,25 @@ class Metric(ABC):
         if bs.shape[0] == 0:
             return np.empty(0, dtype=np.float64)
         return self._one_to_many(np.asarray(a, dtype=np.float64), bs)
+
+    def pair_distances(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Row-aligned distances ``|xs[i], ys[i]|`` (counted).
+
+        The entry point of the gathered (flat pair list) kernel scans: both
+        arguments are ``(m, d)`` with rows already paired up.  Counts ``m``
+        pairs — exactly the pairs a per-query scan over the same slices
+        would have counted.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 2:
+            raise ValueError(
+                f"expected two aligned 2-d point arrays, got {xs.shape} and {ys.shape}"
+            )
+        self.pairs_computed += xs.shape[0]
+        if xs.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        return self._pairwise(xs, ys)
 
     def cross_distances(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
         """Return the full ``|xs| x |ys|`` distance matrix (counted)."""
@@ -142,6 +175,9 @@ class MinkowskiMetric(Metric):
     def _one_to_many(self, a: np.ndarray, bs: np.ndarray) -> np.ndarray:
         return np.sum(np.abs(bs - a) ** self.p, axis=1) ** (1.0 / self.p)
 
+    def _pairwise(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        return np.sum(np.abs(ys - xs) ** self.p, axis=1) ** (1.0 / self.p)
+
 
 class EuclideanMetric(Metric):
     """L2 distance (Equation 1) — the paper's default measure."""
@@ -156,6 +192,10 @@ class EuclideanMetric(Metric):
         diff = bs - a
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
 
+    def _pairwise(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        diff = ys - xs
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
 
 class ManhattanMetric(Metric):
     """L1 (Manhattan) distance."""
@@ -167,6 +207,9 @@ class ManhattanMetric(Metric):
 
     def _one_to_many(self, a: np.ndarray, bs: np.ndarray) -> np.ndarray:
         return np.abs(bs - a).sum(axis=1)
+
+    def _pairwise(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        return np.abs(ys - xs).sum(axis=1)
 
 
 class ChebyshevMetric(Metric):
@@ -180,6 +223,9 @@ class ChebyshevMetric(Metric):
     def _one_to_many(self, a: np.ndarray, bs: np.ndarray) -> np.ndarray:
         return np.abs(bs - a).max(axis=1)
 
+    def _pairwise(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        return np.abs(ys - xs).max(axis=1)
+
 
 _METRICS = {
     "l2": EuclideanMetric,
@@ -192,15 +238,31 @@ _METRICS = {
 }
 
 
+#: the whole Minkowski family: "l<p>" with a numeric p, e.g. "l3" or "l2.5"
+_LP_NAME = re.compile(r"^l(\d+(?:\.\d+)?)$")
+
+
 def get_metric(name: str = "l2") -> Metric:
     """Instantiate a fresh (zero-counter) metric by name.
 
+    Besides the named metrics, any ``"l<p>"`` with numeric ``p >= 1``
+    resolves to the matching :class:`MinkowskiMetric` (``"l3"``, ``"l2.5"``,
+    ...); the specialized L1/L2 kernels keep priority for their names.
+    ``metric.name`` round-trips: ``get_metric(get_metric("l3").name)`` works.
+
     >>> get_metric("l1").name
     'l1'
+    >>> get_metric("l3").name
+    'l3'
     """
-    try:
-        return _METRICS[name.lower()]()
-    except KeyError:
-        raise ValueError(
-            f"unknown metric {name!r}; available: {sorted(set(_METRICS))}"
-        ) from None
+    key = name.lower()
+    cls = _METRICS.get(key)
+    if cls is not None:
+        return cls()
+    match = _LP_NAME.match(key)
+    if match:
+        return MinkowskiMetric(float(match.group(1)))
+    raise ValueError(
+        f"unknown metric {name!r}; available: {sorted(set(_METRICS))} "
+        "or any Minkowski 'l<p>' with p >= 1 (e.g. 'l3')"
+    )

@@ -25,9 +25,11 @@ import numpy as np
 __all__ = [
     "PRUNE_EPS",
     "hyperplane_distance",
+    "hyperplane_distances",
     "partition_pruned_by_hyperplane",
     "ring_bounds",
     "ring_slice",
+    "ring_slices",
 ]
 
 #: absolute slack for floating-point-safe pruning comparisons
@@ -53,6 +55,25 @@ def hyperplane_distance(
         # coincident pivots: the hyperplane is undefined; nothing can be
         # pruned, report distance 0 (never exceeds any non-negative theta).
         return 0.0
+    return (dist_q_pj * dist_q_pj - dist_q_pi * dist_q_pi) / (2.0 * dist_pi_pj)
+
+
+def hyperplane_distances(
+    dist_q_pi: np.ndarray,
+    dist_q_pj: np.ndarray,
+    dist_pi_pj: float,
+    euclidean: bool = True,
+) -> np.ndarray:
+    """Vectorized :func:`hyperplane_distance` for many queries of one cell.
+
+    ``dist_q_pi``/``dist_q_pj`` are aligned per-query arrays; ``dist_pi_pj``
+    is the shared pivot-pair distance.  Elementwise IEEE operations match the
+    scalar version exactly, so batched pruning decisions are bit-identical.
+    """
+    if not euclidean:
+        return np.maximum(0.0, (dist_q_pj - dist_q_pi) / 2.0)
+    if dist_pi_pj <= 0.0:
+        return np.zeros_like(dist_q_pi)
     return (dist_q_pj * dist_q_pj - dist_q_pi * dist_q_pi) / (2.0 * dist_pi_pj)
 
 
@@ -100,3 +121,28 @@ def ring_slice(
     start = int(np.searchsorted(sorted_pivot_dists, lo, side="left"))
     stop = int(np.searchsorted(sorted_pivot_dists, hi, side="right"))
     return start, stop
+
+
+def ring_slices(
+    sorted_pivot_dists: np.ndarray,
+    lower: float,
+    upper: float,
+    dist_q_pj: np.ndarray,
+    theta: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`ring_slice` for many queries against one cell.
+
+    ``dist_q_pj`` and ``theta`` are aligned per-query arrays; returns
+    ``(starts, stops)`` index arrays.  ``theta = +inf`` degenerates to the
+    full slice (the ring covers the cell's whole occupied band), matching the
+    per-record path's explicit full-scan branch.
+    """
+    lo = np.maximum(lower, dist_q_pj - theta) - PRUNE_EPS
+    hi = np.minimum(upper, dist_q_pj + theta) + PRUNE_EPS
+    starts = np.searchsorted(sorted_pivot_dists, lo, side="left")
+    stops = np.searchsorted(sorted_pivot_dists, hi, side="right")
+    empty = lo > hi
+    if empty.any():
+        starts[empty] = 0
+        stops[empty] = 0
+    return starts, stops

@@ -14,11 +14,12 @@ import numpy as np
 
 from repro.core.dataset import Dataset
 from repro.core.distance import get_metric
-from repro.core.knn import knn_of_point
+from repro.core.knn import select_k_smallest
 from repro.core.result import KnnJoinResult
-from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
+from repro.mapreduce.job import BlockBufferingMapper, Context, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
 from repro.mapreduce.splits import dataset_splits
+from repro.mapreduce.types import RecordBlock
 
 from .base import (
     PAIRS_GROUP,
@@ -29,44 +30,65 @@ from .base import (
     JoinOutcome,
     KnnJoinAlgorithm,
 )
-from .block_framework import block_of
+from .block_framework import block_of_ids
 
 __all__ = ["BroadcastJoin"]
 
+#: rows of R per distance-matrix chunk in the reducer (bounds peak memory)
+_SCAN_CHUNK = 256
 
-class BroadcastMapper(Mapper):
-    """R objects to one reducer each; S objects to all reducers."""
+
+class BroadcastMapper(BlockBufferingMapper):
+    """R objects to one reducer each; S objects to all reducers (columnar)."""
 
     def setup(self, ctx: Context) -> None:
+        super().setup(ctx)
         self._num_reducers = ctx.num_reducers
 
-    def map(self, key, value, ctx: Context):
-        record = value
-        if record.is_from_r():
-            yield block_of(record.object_id, self._num_reducers), record
-        else:
-            ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME, self._num_reducers)
-            for reducer_index in range(self._num_reducers):
-                yield reducer_index, record
+    def route_block(self, block: RecordBlock, ctx: Context):
+        num_reducers = self._num_reducers
+        r_rows = np.flatnonzero(block.is_r)
+        if r_rows.size:
+            r_block = block.take(r_rows)
+            yield from r_block.split_by(block_of_ids(r_block.object_ids, num_reducers))
+        s_rows = np.flatnonzero(~block.is_r)
+        if s_rows.size:
+            ctx.counters.incr(
+                REPLICA_GROUP, REPLICA_NAME, int(s_rows.size) * num_reducers
+            )
+            s_block = block.take(s_rows)
+            for reducer_index in range(num_reducers):
+                yield reducer_index, s_block
 
 
 class BroadcastReducer(Reducer):
-    """Naive scan: exact kNN of each local r over the full S."""
+    """Naive scan: exact kNN of each local r over the full S.
+
+    The scan is chunk-batched: one ``cross_distances`` call per ``_SCAN_CHUNK``
+    rows of R (the same ``|R_i| * |S|`` pairs the per-record scan computed and
+    counted), then an argpartition selection per row.
+    """
 
     def setup(self, ctx: Context) -> None:
         self._metric = get_metric(ctx.cache["metric_name"])
         self._k = int(ctx.cache["k"])
 
     def reduce(self, key, values, ctx: Context):
-        r_records = [rec for rec in values if rec.is_from_r()]
-        s_records = [rec for rec in values if not rec.is_from_r()]
-        if not r_records:
+        block = RecordBlock.gather(values)
+        r_rows = np.flatnonzero(block.is_r)
+        if r_rows.size == 0:
             return
-        s_points = np.array([rec.point for rec in s_records], dtype=np.float64)
-        s_ids = np.array([rec.object_id for rec in s_records], dtype=np.int64)
-        for record in r_records:
-            ids, dists = knn_of_point(self._metric, record.point, s_points, s_ids, self._k)
-            yield record.object_id, (ids, dists)
+        s_rows = np.flatnonzero(~block.is_r)
+        s_points = block.points[s_rows]
+        s_ids = block.object_ids[s_rows]
+        r_points = block.points[r_rows]
+        r_ids = block.object_ids[r_rows]
+        for start in range(0, r_rows.size, _SCAN_CHUNK):
+            chunk = slice(start, start + _SCAN_CHUNK)
+            dists = self._metric.cross_distances(r_points[chunk], s_points)
+            for offset, r_id in enumerate(r_ids[chunk]):
+                selected = select_k_smallest(dists[offset], s_ids, self._k)
+                yield int(r_id), (s_ids[selected], dists[offset][selected])
 
     def cleanup(self, ctx: Context):
         ctx.counters.incr(PAIRS_GROUP, PAIRS_NAME, self._metric.pairs_computed)

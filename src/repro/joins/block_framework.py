@@ -13,15 +13,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.knn import KBestList
-from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
+from repro.mapreduce.job import BlockBufferingMapper, Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import HashPartitioner, ModPartitioner
 from repro.mapreduce.runtime import JobResult, LocalRuntime
 from repro.mapreduce.splits import split_records
+from repro.mapreduce.types import RecordBlock
 
 from .base import REPLICA_GROUP, REPLICA_NAME, JoinConfig
 
 __all__ = [
     "block_of",
+    "block_of_ids",
     "BlockRoutingMapper",
     "CandidateMergeMapper",
     "CandidateMergeReducer",
@@ -34,27 +36,48 @@ def block_of(object_id: int, num_blocks: int) -> int:
     return ((object_id * 2654435761) & 0xFFFFFFFF) % num_blocks
 
 
-class BlockRoutingMapper(Mapper):
+def block_of_ids(object_ids: np.ndarray, num_blocks: int) -> np.ndarray:
+    """Vectorized :func:`block_of` (identical values, uint64 arithmetic —
+    the 32-bit mask only keeps bits the modular multiply preserves)."""
+    hashed = (object_ids.astype(np.uint64) * np.uint64(2654435761)) & np.uint64(
+        0xFFFFFFFF
+    )
+    return (hashed % np.uint64(num_blocks)).astype(np.int64)
+
+
+class BlockRoutingMapper(BlockBufferingMapper):
     """Routes each object to its row (R) or column (S) of block reducers.
 
     Key encoding: reducer ``(i, j)`` is the integer ``i * B + j``, so a
-    modulo partitioner keeps the one-pair-per-reducer layout.
+    modulo partitioner keeps the one-pair-per-reducer layout.  Routing is
+    columnar: the task's input is gathered into one block, hashed with one
+    vectorized pass, and emitted as per-block-row sub-blocks — ``sqrt(N)``
+    values per own-block instead of ``sqrt(N)`` per object.
     """
 
     def setup(self, ctx: Context) -> None:
+        super().setup(ctx)
         self._num_blocks = int(ctx.cache["num_blocks"])
 
-    def map(self, key, value, ctx: Context):
-        record = value
+    def route_block(self, block: RecordBlock, ctx: Context):
         num_blocks = self._num_blocks
-        own = block_of(record.object_id, num_blocks)
-        if record.is_from_r():
-            for j in range(num_blocks):
-                yield own * num_blocks + j, record
-        else:
-            ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME, num_blocks)
-            for i in range(num_blocks):
-                yield i * num_blocks + own, record
+        r_rows = np.flatnonzero(block.is_r)
+        if r_rows.size:
+            r_block = block.take(r_rows)
+            for own_block, sub in r_block.split_by(
+                block_of_ids(r_block.object_ids, num_blocks)
+            ):
+                for j in range(num_blocks):
+                    yield own_block * num_blocks + j, sub
+        s_rows = np.flatnonzero(~block.is_r)
+        if s_rows.size:
+            ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME, int(s_rows.size) * num_blocks)
+            s_block = block.take(s_rows)
+            for own_block, sub in s_block.split_by(
+                block_of_ids(s_block.object_ids, num_blocks)
+            ):
+                for i in range(num_blocks):
+                    yield i * num_blocks + own_block, sub
 
 
 class CandidateMergeMapper(Mapper):

@@ -31,8 +31,7 @@ from repro.mapreduce.splits import split_records
 from .base import PAIRS_GROUP, PAIRS_NAME, BlockJoinConfig
 from .block_framework import block_join_spec
 from .kernels import (
-    build_r_blocks,
-    build_s_blocks,
+    build_partition_blocks,
     knn_join_kernel,
     local_ring_stats,
     local_theta,
@@ -55,8 +54,7 @@ class ClosestPairsBlockReducer(Reducer):
         self._exclude_self = bool(ctx.cache["exclude_self"])
 
     def reduce(self, key, values, ctx: Context):
-        r_blocks = build_r_blocks(rec for rec in values if rec.is_from_r())
-        s_blocks = build_s_blocks(rec for rec in values if not rec.is_from_r())
+        r_blocks, s_blocks = build_partition_blocks(values)
         if not r_blocks or not s_blocks:
             return
         ring_stats = local_ring_stats(s_blocks)

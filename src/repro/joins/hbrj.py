@@ -18,6 +18,7 @@ from repro.core.distance import get_metric
 from repro.core.result import KnnJoinResult
 from repro.mapreduce.job import Context, Reducer
 from repro.mapreduce.splits import dataset_splits
+from repro.mapreduce.types import RecordBlock
 from repro.rtree import RTree
 
 from .base import (
@@ -41,16 +42,18 @@ class HbrjJoinReducer(Reducer):
         self._capacity = int(ctx.cache["rtree_capacity"])
 
     def reduce(self, key, values, ctx: Context):
-        r_records = [rec for rec in values if rec.is_from_r()]
-        s_records = [rec for rec in values if not rec.is_from_r()]
-        if not r_records or not s_records:
+        block = RecordBlock.gather(values)
+        r_rows = np.flatnonzero(block.is_r)
+        s_rows = np.flatnonzero(~block.is_r)
+        if r_rows.size == 0 or s_rows.size == 0:
             return
-        s_points = np.array([rec.point for rec in s_records], dtype=np.float64)
-        s_ids = np.array([rec.object_id for rec in s_records], dtype=np.int64)
-        tree = RTree.bulk_load(s_points, s_ids, self._metric, self._capacity)
-        for record in r_records:
-            ids, dists = tree.knn(record.point, self._k)
-            yield record.object_id, (ids, dists)
+        tree = RTree.bulk_load(
+            block.points[s_rows], block.object_ids[s_rows], self._metric, self._capacity
+        )
+        r_points = block.points[r_rows]
+        for row, r_id in enumerate(block.object_ids[r_rows]):
+            ids, dists = tree.knn(r_points[row], self._k)
+            yield int(r_id), (ids, dists)
 
     def cleanup(self, ctx: Context):
         ctx.counters.incr(PAIRS_GROUP, PAIRS_NAME, self._metric.pairs_computed)

@@ -22,6 +22,7 @@ from repro.core.result import KnnJoinResult
 from repro.idistance import IDistanceIndex
 from repro.mapreduce.job import Context, Reducer
 from repro.mapreduce.splits import dataset_splits
+from repro.mapreduce.types import RecordBlock
 
 from .base import (
     PAIRS_GROUP,
@@ -45,19 +46,21 @@ class IJoinBlockReducer(Reducer):
         self._seed = int(ctx.cache["seed"])
 
     def reduce(self, key, values, ctx: Context):
-        r_records = [rec for rec in values if rec.is_from_r()]
-        s_records = [rec for rec in values if not rec.is_from_r()]
-        if not r_records or not s_records:
+        block = RecordBlock.gather(values)
+        r_rows = np.flatnonzero(block.is_r)
+        s_rows = np.flatnonzero(~block.is_r)
+        if r_rows.size == 0 or s_rows.size == 0:
             return
-        s_points = np.array([rec.point for rec in s_records], dtype=np.float64)
-        s_ids = np.array([rec.object_id for rec in s_records], dtype=np.int64)
+        s_points = block.points[s_rows]
+        s_ids = block.object_ids[s_rows]
         rng = np.random.default_rng(self._seed + int(key))
         num_pivots = min(self._num_pivots, s_points.shape[0])
         pivot_rows = rng.choice(s_points.shape[0], size=num_pivots, replace=False)
         index = IDistanceIndex(s_points, s_ids, s_points[pivot_rows], self._metric)
-        for record in r_records:
-            ids, dists = index.knn(record.point, self._k)
-            yield record.object_id, (ids, dists)
+        r_points = block.points[r_rows]
+        for row, r_id in enumerate(block.object_ids[r_rows]):
+            ids, dists = index.knn(r_points[row], self._k)
+            yield int(r_id), (ids, dists)
 
     def cleanup(self, ctx: Context):
         ctx.counters.incr(PAIRS_GROUP, PAIRS_NAME, self._metric.pairs_computed)

@@ -14,29 +14,54 @@ against the S objects it received, using the paper's three pruning levels:
 The same kernel serves PGBJ (bounds from the global summary tables) and PBJ
 (bounds recomputed locally over the reducer's random block of S, which is why
 PBJ's bounds are looser — the paper's stated reason PBJ trails PGBJ).
+
+Vectorization layout: the scan order over S-partitions depends only on the
+*R-partition* (line 14 sorts by ``|p_i, p_jl|``), so the kernel walks
+S-partitions in that shared order and evaluates everything for **all rows of
+the R-partition block at once** — one hyperplane mask, one batched
+``searchsorted`` for the Theorem 2 rings, then one gathered distance pass
+over the flat ``(row, ring-member)`` pair list and a padded-matrix k-best
+merge — while the per-row ``theta`` values evolve exactly as in the
+per-record scan.  Only the pairs the pruning rules admit are ever gathered,
+so ``metric.pairs_computed`` (the paper's selectivity numerator) is
+unchanged pair for pair.  The seed per-record kernel survives as
+:func:`knn_join_kernel_reference`, the oracle for the equivalence tests and
+the ``bench_columnar`` micro benchmark.
+
+Inputs arrive either as per-object :class:`~repro.mapreduce.types.ObjectRecord`
+values or as columnar :class:`~repro.mapreduce.types.RecordBlock` batches;
+:func:`build_partition_blocks` splits a reducer's mixed value list by origin
+and groups it per Voronoi cell with array ops only.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.distance import Metric
-from repro.core.geometry import PRUNE_EPS, partition_pruned_by_hyperplane, ring_slice
-from repro.core.knn import KBestList
-from repro.mapreduce.types import ObjectRecord
+from repro.core.geometry import (
+    PRUNE_EPS,
+    hyperplane_distances,
+    partition_pruned_by_hyperplane,
+    ring_slice,
+    ring_slices,
+)
+from repro.core.knn import ReferenceKBestList
+from repro.mapreduce.types import ObjectRecord, RecordBlock, group_rows_by
 
 __all__ = [
     "RPartitionBlock",
     "SPartitionBlock",
+    "build_partition_blocks",
     "build_r_blocks",
     "build_s_blocks",
     "local_ring_stats",
     "local_theta",
     "knn_join_kernel",
+    "knn_join_kernel_reference",
 ]
 
 
@@ -71,37 +96,60 @@ class SPartitionBlock:
         return self.ids.shape[0]
 
 
-def build_r_blocks(records: Iterable[ObjectRecord]) -> dict[int, RPartitionBlock]:
-    """Group a reducer's R records by Voronoi cell."""
-    grouped: dict[int, list[ObjectRecord]] = {}
-    for record in records:
-        grouped.setdefault(record.partition_id, []).append(record)
-    blocks: dict[int, RPartitionBlock] = {}
-    for pid, group in grouped.items():
-        blocks[pid] = RPartitionBlock(
+def _as_block(values: "RecordBlock | Iterable") -> RecordBlock:
+    if isinstance(values, RecordBlock):
+        return values
+    return RecordBlock.gather(values)
+
+
+def build_r_blocks(
+    records: "RecordBlock | Iterable[ObjectRecord | RecordBlock]",
+) -> dict[int, RPartitionBlock]:
+    """Group a reducer's R records by Voronoi cell (columnar)."""
+    block = _as_block(records)
+    return {
+        pid: RPartitionBlock(
             partition_id=pid,
-            ids=np.array([rec.object_id for rec in group], dtype=np.int64),
-            points=np.array([rec.point for rec in group], dtype=np.float64),
-            pivot_dists=np.array([rec.pivot_distance for rec in group], dtype=np.float64),
+            ids=block.object_ids[rows],
+            points=block.points[rows],
+            pivot_dists=block.pivot_distances[rows],
         )
-    return blocks
+        for pid, rows in group_rows_by(block.partition_ids)
+    }
 
 
-def build_s_blocks(records: Iterable[ObjectRecord]) -> dict[int, SPartitionBlock]:
+def build_s_blocks(
+    records: "RecordBlock | Iterable[ObjectRecord | RecordBlock]",
+) -> dict[int, SPartitionBlock]:
     """Group a reducer's S records by cell, sorted by pivot distance."""
-    grouped: dict[int, list[ObjectRecord]] = {}
-    for record in records:
-        grouped.setdefault(record.partition_id, []).append(record)
+    block = _as_block(records)
     blocks: dict[int, SPartitionBlock] = {}
-    for pid, group in grouped.items():
-        ids = np.array([rec.object_id for rec in group], dtype=np.int64)
-        points = np.array([rec.point for rec in group], dtype=np.float64)
-        dists = np.array([rec.pivot_distance for rec in group], dtype=np.float64)
+    for pid, rows in group_rows_by(block.partition_ids):
+        ids = block.object_ids[rows]
+        dists = block.pivot_distances[rows]
         order = np.lexsort((ids, dists))
         blocks[pid] = SPartitionBlock(
-            partition_id=pid, ids=ids[order], points=points[order], pivot_dists=dists[order]
+            partition_id=pid,
+            ids=ids[order],
+            points=block.points[rows][order],
+            pivot_dists=dists[order],
         )
     return blocks
+
+
+def build_partition_blocks(
+    values: Iterable,
+) -> tuple[dict[int, RPartitionBlock], dict[int, SPartitionBlock]]:
+    """Split a reducer's mixed value list by origin and group per cell.
+
+    Accepts whatever the shuffle delivered — per-object records, columnar
+    blocks, or a mix — and returns ``(r_blocks, s_blocks)`` built with array
+    operations only (no per-record Python objects on the block path).
+    """
+    block = _as_block(values)
+    r_rows = np.flatnonzero(block.is_r)
+    s_rows = np.flatnonzero(~block.is_r)
+    return build_r_blocks(block.take(r_rows)), build_s_blocks(block.take(s_rows))
 
 
 def local_ring_stats(s_blocks: dict[int, SPartitionBlock]) -> dict[int, tuple[float, float]]:
@@ -124,21 +172,128 @@ def local_theta(
     the theta bound must be recomputed from what is present.  Returns ``inf``
     when the local blocks hold fewer than k objects (the merge job resolves
     such partial candidate lists).
+
+    Vectorized: each block contributes upper bounds
+    ``u_ri + |p_i, p_j| + |s, p_j|`` for its k nearest-to-pivot objects
+    (the blocks are pivot-distance sorted); the k-th smallest of the pooled
+    bounds is the theta — one ``np.partition`` instead of a Python heap.
     """
-    heap: list[float] = []  # max-heap (negated) of the k smallest upper bounds
-    for pid, block in s_blocks.items():
-        base = u_ri + float(pdm_row[pid])
-        for dist_s_pj in block.pivot_dists[: min(k, len(block))]:
-            ub = base + float(dist_s_pj)
-            if len(heap) < k:
-                heapq.heappush(heap, -ub)
-            elif ub < -heap[0]:
-                heapq.heapreplace(heap, -ub)
-            else:
-                break
-    if len(heap) < k:
+    bounds = [
+        (u_ri + float(pdm_row[pid])) + block.pivot_dists[:k]
+        for pid, block in s_blocks.items()
+    ]
+    if not bounds:
         return float("inf")
-    return -heap[0]
+    pooled = np.concatenate(bounds)
+    if pooled.size < k:
+        return float("inf")
+    return float(np.partition(pooled, k - 1)[k - 1])
+
+
+#: sentinel id for unfilled k-best slots — sorts after every real id
+_ID_SENTINEL = np.iinfo(np.int64).max
+
+#: gathered pairs per batch — bounds the flat scan's peak memory
+_PAIR_CHUNK = 1 << 19
+
+
+def _chunk_bounds(lengths: np.ndarray, cap: int) -> Iterator[tuple[int, int]]:
+    """Split segment list ``lengths`` into ``[lo, hi)`` runs of <= cap pairs.
+
+    A single segment larger than the cap still forms its own (oversized)
+    chunk — segments are never split, so per-row results cannot change.
+    """
+    cumulative = np.cumsum(lengths)
+    lo = 0
+    consumed = 0
+    while lo < lengths.size:
+        hi = int(np.searchsorted(cumulative, consumed + cap, side="right"))
+        if hi <= lo:
+            hi = lo + 1
+        yield lo, hi
+        consumed = int(cumulative[hi - 1])
+        lo = hi
+
+
+def _scan_segments(
+    metric: Metric,
+    k: int,
+    r_points: np.ndarray,
+    s_block: SPartitionBlock,
+    rows: np.ndarray,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    best_dists: np.ndarray,
+    best_ids: np.ndarray,
+    theta: np.ndarray,
+) -> None:
+    """One gathered scan: ring slices of one S-partition for many R rows.
+
+    Builds the flat ``(row, s-index)`` pair list covering exactly the ring
+    members each row admits, computes all distances in one counted call, then
+    folds each row's candidates into its running k-best matrix:
+
+    * discard candidates strictly beyond their row's current k-th distance —
+      the row already holds k candidates at or below it, so such a candidate
+      can never enter the k-best (ties survive: an equal distance with a
+      smaller id still displaces);
+    * per-segment top-``min(survivors, k)`` via one three-key lexsort over
+      the (now few) survivors;
+    * merge with the current k-best (``inf``/sentinel-padded), ordering each
+      row by (distance, id) with two stable row-wise argsorts — the same
+      lexicographic tie-breaking as ``np.lexsort``, so results match the
+      per-record :class:`~repro.core.knn.ReferenceKBestList` exactly.
+
+    Updates ``best_dists``/``best_ids``/``theta`` in place.
+    """
+    offsets = np.cumsum(lengths) - lengths
+    total = int(offsets[-1] + lengths[-1])
+    # flat pair list: seg_of_pair repeats each segment, col walks its slice
+    col = np.arange(total) - np.repeat(offsets - starts, lengths)
+    seg_of_pair = np.repeat(np.arange(rows.size), lengths)
+    r_sub = r_points[rows]  # small, cache-resident gather source
+    flat_dists = metric.pair_distances(r_sub[seg_of_pair], s_block.points[col])
+
+    kth_per_segment = best_dists[rows, k - 1]
+    keep = np.flatnonzero(flat_dists <= kth_per_segment[seg_of_pair])
+    if keep.size == 0:
+        # every candidate lost to the current k-best; the reference's theta
+        # update is a no-op here too (theta <= kth + eps already holds)
+        return
+    seg_kept = seg_of_pair[keep]
+    dists_kept = flat_dists[keep]
+    ids_kept = s_block.ids[col[keep]]
+
+    # (segment, distance, id) order => contiguous survivor runs, best first
+    order = np.lexsort((ids_kept, dists_kept, seg_kept))
+    survivors = np.bincount(seg_kept, minlength=rows.size)
+    active = np.flatnonzero(survivors)
+    take = np.minimum(survivors[active], k)
+    kept_offsets = np.cumsum(survivors) - survivors
+    slot = np.arange(int(take.sum())) - np.repeat(np.cumsum(take) - take, take)
+    picked = order[np.repeat(kept_offsets[active], take) + slot]
+
+    num_active = active.size
+    new_dists = np.full((num_active, k), np.inf, dtype=np.float64)
+    new_ids = np.full((num_active, k), _ID_SENTINEL, dtype=np.int64)
+    scatter_row = np.repeat(np.arange(num_active), take)
+    new_dists[scatter_row, slot] = dists_kept[picked]
+    new_ids[scatter_row, slot] = ids_kept[picked]
+
+    updated = rows[active]
+    merged_dists = np.concatenate([best_dists[updated], new_dists], axis=1)
+    merged_ids = np.concatenate([best_ids[updated], new_ids], axis=1)
+    lane = np.arange(num_active)[:, None]
+    by_id = np.argsort(merged_ids, axis=1, kind="stable")
+    by_dist = np.argsort(merged_dists[lane, by_id], axis=1, kind="stable")
+    # compose the two stable passes (== per-row lexsort by (distance, id))
+    # and truncate to k before gathering the final columns
+    keep_perm = by_id[lane, by_dist[:, :k]]
+    best_dists[updated] = merged_dists[lane, keep_perm]
+    best_ids[updated] = merged_ids[lane, keep_perm]
+    # theta tightens only once a row's list is full: an unfilled k-th slot is
+    # +inf, so np.minimum leaves those rows' theta untouched
+    theta[updated] = np.minimum(theta[updated], best_dists[updated, k - 1] + PRUNE_EPS)
 
 
 def knn_join_kernel(
@@ -154,6 +309,12 @@ def knn_join_kernel(
     use_ring_pruning: bool = True,
 ) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
     """Run Algorithm 3's reduce phase; yields ``(r_id, neighbor_ids, dists)``.
+
+    Bit-identical to :func:`knn_join_kernel_reference` (same neighbor lists,
+    same ``metric.pairs_computed``): every per-row pruning decision and ring
+    slice is the same, every admitted pair's distance is computed with the
+    same IEEE operations — only evaluated batched, one S-partition at a time
+    across all rows of the R-partition block.
 
     Parameters
     ----------
@@ -171,6 +332,7 @@ def knn_join_kernel(
     if not s_blocks:
         raise ValueError("reducer received R objects but no S objects")
     present = sorted(s_blocks)
+    present_arr = np.asarray(present, dtype=np.int64)
     present_points = pivot_points[present]
     # Equation 3 is exact only in Euclidean space; other metrics fall back to
     # the generic GH bound inside hyperplane_distance
@@ -178,16 +340,128 @@ def knn_join_kernel(
 
     for pid_r in sorted(r_blocks):
         r_block = r_blocks[pid_r]
-        theta_i = thetas[pid_r]
+        num_rows = r_block.ids.shape[0]
         pdm_row = pivot_dist_matrix[pid_r]
-        # line 14: scan S-partitions in ascending |p_i, p_jl| order
-        order = sorted(range(len(present)), key=lambda idx: pdm_row[present[idx]])
+        # line 14: scan S-partitions in ascending |p_i, p_jl| order (stable,
+        # so equidistant cells keep the same scan order as sorted())
+        order = np.argsort(pdm_row[present_arr], kind="stable")
         # |r, p_j| for every r of the cell and every present S pivot — these
         # are object-pivot pairs and count toward selectivity (Equation 13)
         dr_to_pivots = metric.cross_distances(r_block.points, present_points)
 
+        r_points = r_block.points
+        own_dists = r_block.pivot_dists
+        theta = np.full(num_rows, thetas[pid_r], dtype=np.float64)
+        best_dists = np.full((num_rows, k), np.inf, dtype=np.float64)
+        best_ids = np.full((num_rows, k), _ID_SENTINEL, dtype=np.int64)
+        for idx in order:
+            pid_s = present[int(idx)]
+            dist_r_pj = dr_to_pivots[:, idx]
+            if use_hyperplane_pruning and pid_s != pid_r:
+                # Corollary 1, all rows at once: a row survives unless the
+                # hyperplane provably exceeds its current theta
+                gaps = hyperplane_distances(
+                    own_dists, dist_r_pj, float(pdm_row[pid_s]), euclidean
+                )
+                rows = np.flatnonzero(gaps <= theta + PRUNE_EPS)
+                if rows.size == 0:
+                    continue
+            else:
+                rows = np.arange(num_rows)
+            block = s_blocks[pid_s]
+            if use_ring_pruning:
+                lower, upper = ring_stats[pid_s]
+                starts, stops = ring_slices(
+                    block.pivot_dists, lower, upper, dist_r_pj[rows], theta[rows]
+                )
+            else:
+                starts = np.zeros(rows.size, dtype=np.intp)
+                stops = np.full(rows.size, len(block), dtype=np.intp)
+            lengths = stops - starts
+            occupied = np.flatnonzero(lengths > 0)
+            if occupied.size == 0:
+                continue
+            rows = rows[occupied]
+            starts = starts[occupied]
+            lengths = lengths[occupied]
+            # strip-mine long slices: after the first strip every row's k-th
+            # distance is a real bound, so later strips mostly fail the
+            # cheap prefilter instead of flooding the candidate sort.  The
+            # k-best fold is order-independent, every admitted pair is still
+            # computed — results and pair counts are unchanged.
+            strip = max(128, 16 * k)
+            longest = int(lengths.max())
+            if longest <= strip and int(lengths.sum()) <= _PAIR_CHUNK:
+                # dense-pivot common case: one batch, no strip bookkeeping
+                _scan_segments(
+                    metric, k, r_points, block, rows, starts, lengths,
+                    best_dists, best_ids, theta,
+                )
+                continue
+            offset = 0
+            while offset < longest:
+                in_strip = np.flatnonzero(lengths > offset)
+                strip_rows = rows[in_strip]
+                strip_starts = starts[in_strip] + offset
+                strip_lengths = np.minimum(lengths[in_strip] - offset, strip)
+                for lo, hi in _chunk_bounds(strip_lengths, _PAIR_CHUNK):
+                    _scan_segments(
+                        metric,
+                        k,
+                        r_points,
+                        block,
+                        strip_rows[lo:hi],
+                        strip_starts[lo:hi],
+                        strip_lengths[lo:hi],
+                        best_dists,
+                        best_ids,
+                        theta,
+                    )
+                offset += strip
+        for row in range(num_rows):
+            # unfilled slots are +inf / sentinel padding at the tail
+            count = int(np.searchsorted(best_dists[row], np.inf, side="left"))
+            yield (
+                int(r_block.ids[row]),
+                best_ids[row, :count].copy(),
+                best_dists[row, :count].copy(),
+            )
+
+
+def knn_join_kernel_reference(
+    metric: Metric,
+    k: int,
+    r_blocks: dict[int, RPartitionBlock],
+    s_blocks: dict[int, SPartitionBlock],
+    thetas: dict[int, float],
+    ring_stats: dict[int, tuple[float, float]],
+    pivot_points: np.ndarray,
+    pivot_dist_matrix: np.ndarray,
+    use_hyperplane_pruning: bool = True,
+    use_ring_pruning: bool = True,
+) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+    """The seed per-record kernel, kept verbatim as the correctness oracle.
+
+    One R point at a time, scalar pruning tests, full-lexsort k-best list.
+    The equivalence tests and ``benchmarks/bench_columnar.py`` hold
+    :func:`knn_join_kernel` to byte-identical outputs and pair counts against
+    this implementation.
+    """
+    if not s_blocks:
+        raise ValueError("reducer received R objects but no S objects")
+    present = sorted(s_blocks)
+    present_points = pivot_points[present]
+    euclidean = metric.name == "l2"
+
+    for pid_r in sorted(r_blocks):
+        r_block = r_blocks[pid_r]
+        theta_i = thetas[pid_r]
+        pdm_row = pivot_dist_matrix[pid_r]
+        order = sorted(range(len(present)), key=lambda idx: pdm_row[present[idx]])
+        dr_to_pivots = metric.cross_distances(r_block.points, present_points)
+
         for row in range(r_block.ids.shape[0]):
-            kbest = KBestList(k)
+            kbest = ReferenceKBestList(k)
             theta = theta_i
             dist_r_own = float(r_block.pivot_dists[row])
             for idx in order:

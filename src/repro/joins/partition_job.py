@@ -22,7 +22,7 @@ from repro.core.summary import SummaryTable, build_partial_summary
 from repro.mapreduce.job import Context, Mapper, MapReduceJob
 from repro.mapreduce.runtime import JobResult, LocalRuntime
 from repro.mapreduce.splits import dataset_splits
-from repro.mapreduce.types import ObjectRecord
+from repro.mapreduce.types import ObjectRecord, RecordBlock
 
 from .base import PAIRS_GROUP, PAIRS_NAME, JoinConfig
 
@@ -38,7 +38,9 @@ class PartitioningMapper(Mapper):
 
     Records are buffered and partitioned in one vectorised pass at cleanup —
     semantically identical to per-record assignment (all emission happens
-    before the shuffle) but far cheaper per object.
+    before the shuffle) but far cheaper per object.  Output is columnar: one
+    annotated :class:`~repro.mapreduce.types.RecordBlock` per Voronoi cell,
+    keyed by partition id, so the second job's mappers route whole blocks.
     """
 
     def setup(self, ctx: Context) -> None:
@@ -54,30 +56,21 @@ class PartitioningMapper(Mapper):
     def cleanup(self, ctx: Context):
         if not self._buffer:
             return
-        points = np.array([record.point for record in self._buffer], dtype=np.float64)
-        pids, dists = self._partitioner.assign_points(points)
-        is_r = np.array([record.is_from_r() for record in self._buffer], dtype=bool)
+        block = RecordBlock.gather(self._buffer)
+        self._buffer = []
+        pids, dists = self._partitioner.assign_points(block.points)
         for channel, mask, summary_k in (
-            (CHANNEL_TR, is_r, 0),
-            (CHANNEL_TS, ~is_r, self._k),
+            (CHANNEL_TR, block.is_r, 0),
+            (CHANNEL_TS, ~block.is_r, self._k),
         ):
             if mask.any():
                 ctx.side_output(
                     channel, build_partial_summary(pids[mask], dists[mask], k=summary_k)
                 )
         ctx.counters.incr(PAIRS_GROUP, PAIRS_NAME, self._metric.pairs_computed)
-        for row, record in enumerate(self._buffer):
-            yield (
-                int(pids[row]),
-                ObjectRecord(
-                    dataset=record.dataset,
-                    object_id=record.object_id,
-                    point=record.point,
-                    payload=record.payload,
-                    partition_id=int(pids[row]),
-                    pivot_distance=float(dists[row]),
-                ),
-            )
+        block.partition_ids = pids.astype(np.int64, copy=False)
+        block.pivot_distances = dists.astype(np.float64, copy=False)
+        yield from block.split_by(block.partition_ids)
 
 
 def merge_summaries(job_result: JobResult, k: int) -> tuple[SummaryTable, SummaryTable, float]:

@@ -34,8 +34,7 @@ from .base import (
 )
 from .block_framework import block_join_spec, run_merge_job
 from .kernels import (
-    build_r_blocks,
-    build_s_blocks,
+    build_partition_blocks,
     knn_join_kernel,
     local_ring_stats,
     local_theta,
@@ -56,8 +55,7 @@ class PbjJoinReducer(Reducer):
         self._pdm: np.ndarray = ctx.cache["pivot_dist_matrix"]
 
     def reduce(self, key, values, ctx: Context):
-        r_blocks = build_r_blocks(rec for rec in values if rec.is_from_r())
-        s_blocks = build_s_blocks(rec for rec in values if not rec.is_from_r())
+        r_blocks, s_blocks = build_partition_blocks(values)
         if not r_blocks or not s_blocks:
             return  # lone half of a pair: other block columns cover these r
         ring_stats = local_ring_stats(s_blocks)

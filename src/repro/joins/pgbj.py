@@ -26,6 +26,7 @@ from repro.grouping import get_grouping_strategy
 from repro.mapreduce.hdfs import DistributedFileSystem
 from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
+from repro.mapreduce.types import RecordBlock
 from repro.pivots import (
     FarthestPivotSelector,
     KMeansPivotSelector,
@@ -42,7 +43,7 @@ from .base import (
     KnnJoinAlgorithm,
     PgbjConfig,
 )
-from .kernels import build_r_blocks, build_s_blocks, knn_join_kernel
+from .kernels import build_partition_blocks, knn_join_kernel
 from .partition_job import merge_summaries, run_partitioning_job
 
 __all__ = ["PGBJ", "make_pivot_selector"]
@@ -69,6 +70,12 @@ class GroupRoutingMapper(Mapper):
     R objects go to their partition's group; S objects go to every group
     whose ``LB(P_j^S, G_i)`` admits them (Theorem 6) — each extra copy is one
     unit of replication, counted for the Figure 7(b) measurement.
+
+    Values arrive as per-cell :class:`~repro.mapreduce.types.RecordBlock`
+    batches from the partitioning job, and the Theorem 6 admission test runs
+    over the whole block at once: one ``>= LB`` mask per (cell, group) pair
+    instead of one ``np.flatnonzero`` per S object.  Per-object records are
+    still accepted (wrapped into a one-row block) for compatibility.
     """
 
     def setup(self, ctx: Context) -> None:
@@ -76,15 +83,26 @@ class GroupRoutingMapper(Mapper):
         self._lb_group: np.ndarray = ctx.cache["lb_group"]
 
     def map(self, key, value, ctx: Context):
-        record = value
-        if record.is_from_r():
-            yield self._partition_to_group[record.partition_id], record
-        else:
-            thresholds = self._lb_group[record.partition_id]
-            groups = np.flatnonzero(record.pivot_distance >= thresholds - PRUNE_EPS)
-            ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME, int(groups.size))
-            for group_index in groups:
-                yield int(group_index), record
+        block = value if isinstance(value, RecordBlock) else RecordBlock.gather([value])
+        r_rows = np.flatnonzero(block.is_r)
+        if r_rows.size:
+            r_block = block.take(r_rows)
+            for pid, sub in r_block.split_by(r_block.partition_ids):
+                yield self._partition_to_group[pid], sub
+        s_rows = np.flatnonzero(~block.is_r)
+        if s_rows.size:
+            s_block = block.take(s_rows)
+            for pid, cell in s_block.split_by(s_block.partition_ids):
+                # Theorem 6 for every object of the cell against every group
+                admitted = (
+                    cell.pivot_distances[:, None]
+                    >= self._lb_group[pid][None, :] - PRUNE_EPS
+                )
+                ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME, int(admitted.sum()))
+                for group_index in range(admitted.shape[1]):
+                    selected = np.flatnonzero(admitted[:, group_index])
+                    if selected.size:
+                        yield int(group_index), cell.take(selected)
 
 
 class PgbjJoinReducer(Reducer):
@@ -101,8 +119,7 @@ class PgbjJoinReducer(Reducer):
         self._use_ring = bool(ctx.cache["use_ring_pruning"])
 
     def reduce(self, key, values, ctx: Context):
-        r_blocks = build_r_blocks(rec for rec in values if rec.is_from_r())
-        s_blocks = build_s_blocks(rec for rec in values if not rec.is_from_r())
+        r_blocks, s_blocks = build_partition_blocks(values)
         if not r_blocks:
             return
         for r_id, ids, dists in knn_join_kernel(

@@ -78,7 +78,13 @@ class ZOrderConfig(JoinConfig):
 
 
 class ZOrderRoutingMapper(Mapper):
-    """Routes objects to (shift, z-range block) reducers."""
+    """Routes objects to (shift, z-range block) reducers.
+
+    Input is buffered and each shift's Morton codes are computed for the
+    whole task in one vectorized :meth:`ZOrderTransform.z_values` call
+    (quantization is per-row, so batch and per-record codes are identical);
+    routing decisions and the boundary-healing rule are unchanged.
+    """
 
     def setup(self, ctx: Context) -> None:
         self._shifts: np.ndarray = ctx.cache["shifts"]
@@ -86,31 +92,40 @@ class ZOrderRoutingMapper(Mapper):
         self._boundaries: list[list[int]] = ctx.cache["boundaries"]
         self._blocks_per_shift = int(ctx.cache["blocks_per_shift"])
         self._margins: list[int] = ctx.cache["margins"]
+        self._buffer: list = []
 
     def _block_of(self, shift_index: int, z_value: int) -> int:
         return bisect.bisect_right(self._boundaries[shift_index], z_value)
 
     def map(self, key, value, ctx: Context):
-        record = value
+        self._buffer.append(value)
+        return ()
+
+    def cleanup(self, ctx: Context):
+        if not self._buffer:
+            return
+        records = self._buffer
+        self._buffer = []
+        points = np.array([record.point for record in records], dtype=np.float64)
         for shift_index in range(self._shifts.shape[0]):
-            shifted = record.point + self._shifts[shift_index]
-            z_value = self._transform.z_values(shifted.reshape(1, -1))[0]
-            block = self._block_of(shift_index, z_value)
-            reducer_key = shift_index * self._blocks_per_shift + block
-            payload = (record.is_from_r(), record.object_id, record.point, z_value)
-            if record.is_from_r():
-                yield reducer_key, payload
-            else:
-                ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME)
-                yield reducer_key, payload
-                # boundary healing: also feed the neighbor block when the
-                # z-value sits next to the estimated boundary
-                for neighbor in (block - 1, block + 1):
-                    if 0 <= neighbor < self._blocks_per_shift and self._near_boundary(
-                        shift_index, z_value, neighbor
-                    ):
-                        ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME)
-                        yield shift_index * self._blocks_per_shift + neighbor, payload
+            z_values = self._transform.z_values(points + self._shifts[shift_index])
+            for record, z_value in zip(records, z_values):
+                block = self._block_of(shift_index, z_value)
+                reducer_key = shift_index * self._blocks_per_shift + block
+                payload = (record.is_from_r(), record.object_id, record.point, z_value)
+                if record.is_from_r():
+                    yield reducer_key, payload
+                else:
+                    ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME)
+                    yield reducer_key, payload
+                    # boundary healing: also feed the neighbor block when the
+                    # z-value sits next to the estimated boundary
+                    for neighbor in (block - 1, block + 1):
+                        if 0 <= neighbor < self._blocks_per_shift and self._near_boundary(
+                            shift_index, z_value, neighbor
+                        ):
+                            ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME)
+                            yield shift_index * self._blocks_per_shift + neighbor, payload
 
     def _near_boundary(self, shift_index: int, z_value: int, neighbor: int) -> bool:
         boundaries = self._boundaries[shift_index]

@@ -19,13 +19,24 @@ from .engines import (
     get_executor,
 )
 from .hdfs import DfsFile, DistributedFileSystem
-from .job import Context, Mapper, MapReduceJob, Reducer
+from .job import BlockBufferingMapper, Context, Mapper, MapReduceJob, Reducer
 from .partitioners import HashPartitioner, ModPartitioner, Partitioner
 from .runtime import FaultInjector, JobResult, LocalRuntime, TaskFailure
-from .serialization import estimate_bytes, shuffle_sort_key
-from .splits import dataset_splits, records_from_dataset, split_records
+from .serialization import (
+    decode_record_block,
+    encode_record_block,
+    estimate_bytes,
+    record_count,
+    shuffle_sort_key,
+)
+from .splits import (
+    dataset_splits,
+    records_from_dataset,
+    split_records,
+    weighted_record_chunks,
+)
 from .stats import JobStats, TaskStat
-from .types import InputSplit, ObjectRecord
+from .types import InputSplit, ObjectRecord, RecordBlock
 
 __all__ = [
     "Cluster",
@@ -36,6 +47,7 @@ __all__ = [
     "Context",
     "Mapper",
     "Reducer",
+    "BlockBufferingMapper",
     "MapReduceJob",
     "Partitioner",
     "HashPartitioner",
@@ -52,12 +64,17 @@ __all__ = [
     "available_engines",
     "DEFAULT_ENGINE",
     "estimate_bytes",
+    "record_count",
     "shuffle_sort_key",
+    "encode_record_block",
+    "decode_record_block",
     "dataset_splits",
     "records_from_dataset",
     "split_records",
+    "weighted_record_chunks",
     "JobStats",
     "TaskStat",
     "InputSplit",
     "ObjectRecord",
+    "RecordBlock",
 ]

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from .serialization import estimate_bytes
+from .serialization import record_count as _record_count
 from .types import InputSplit
 
 __all__ = ["DistributedFileSystem", "DfsFile"]
@@ -29,8 +30,10 @@ class DfsFile:
     total_bytes: int = 0
 
     def record_count(self) -> int:
-        """Total records across all chunks."""
-        return sum(len(chunk) for chunk in self.chunks)
+        """Total logical records across all chunks (blocks weigh their rows)."""
+        return sum(
+            _record_count(value) for chunk in self.chunks for _, value in chunk
+        )
 
 
 class DistributedFileSystem:
@@ -57,17 +60,27 @@ class DistributedFileSystem:
     # -- write ---------------------------------------------------------------
 
     def put(self, name: str, records: list[tuple[Any, Any]]) -> DfsFile:
-        """Store records under ``name``, splitting into chunks (overwrites)."""
+        """Store records under ``name``, splitting into chunks (overwrites).
+
+        Chunk boundaries are *logical-record* positions (columnar blocks
+        weigh their rows and are sliced at boundaries), so chunk layout —
+        and the split/locality model built on it — does not depend on how
+        the records are encoded.
+        """
+        from .splits import weighted_record_chunks  # local: avoids a cycle
+
         file = DfsFile(name=name)
-        for start in range(0, max(len(records), 1), self.chunk_records):
-            chunk = records[start : start + self.chunk_records]
-            if not chunk and file.chunks:
-                break
+        for chunk in weighted_record_chunks(records, self.chunk_records):
             file.chunks.append(chunk)
             file.chunk_nodes.append(self._next_node)
             self._next_node = (self._next_node + 1) % self.num_nodes
+        if not file.chunks:
+            file.chunks.append([])
+            file.chunk_nodes.append(self._next_node)
+            self._next_node = (self._next_node + 1) % self.num_nodes
         file.total_bytes = self.replication * sum(
-            estimate_bytes(key) + estimate_bytes(value) for key, value in records
+            estimate_bytes(key) * _record_count(value) + estimate_bytes(value)
+            for key, value in records
         )
         self._files[name] = file
         return file

@@ -17,8 +17,9 @@ from typing import Any
 
 from .counters import Counters
 from .partitioners import HashPartitioner, Partitioner
+from .types import RecordBlock
 
-__all__ = ["Context", "Mapper", "Reducer", "MapReduceJob"]
+__all__ = ["Context", "Mapper", "Reducer", "BlockBufferingMapper", "MapReduceJob"]
 
 
 class Context:
@@ -68,6 +69,41 @@ class Mapper:
     def cleanup(self, ctx: Context) -> Iterable[tuple[Any, Any]]:
         """Called once after the last record; may yield trailing pairs."""
         return ()
+
+
+class BlockBufferingMapper(Mapper):
+    """Mapper base for the columnar fast path: batch input, route blocks.
+
+    Per-record :meth:`map` calls only buffer; at :meth:`cleanup` everything
+    the task saw — :class:`~repro.mapreduce.types.ObjectRecord` rows,
+    :class:`~repro.mapreduce.types.RecordBlock` batches, or a mix — is
+    gathered into one block and handed to :meth:`route_block`, which yields
+    ``(key, RecordBlock)`` emissions.  All emission still happens before the
+    shuffle, so semantics match a per-record mapper exactly; only the number
+    of Python-level values crossing the shuffle shrinks.
+
+    Subclasses overriding :meth:`setup` must call ``super().setup(ctx)``.
+    """
+
+    def setup(self, ctx: Context) -> None:
+        self._pending: list[Any] = []
+
+    def map(self, key: Any, value: Any, ctx: Context) -> Iterable[tuple[Any, Any]]:
+        self._pending.append(value)
+        return ()
+
+    def cleanup(self, ctx: Context) -> Iterable[tuple[Any, Any]]:
+        if not self._pending:
+            return ()
+        block = RecordBlock.gather(self._pending)
+        self._pending = []
+        return self.route_block(block, ctx)
+
+    def route_block(
+        self, block: RecordBlock, ctx: Context
+    ) -> Iterable[tuple[Any, RecordBlock]]:
+        """Route the task's whole input; yield ``(key, sub-block)`` pairs."""
+        raise NotImplementedError
 
 
 class Reducer:

@@ -36,7 +36,7 @@ from typing import Any
 from .counters import Counters
 from .engines import DEFAULT_ENGINE, Executor, get_executor
 from .job import Context, MapReduceJob
-from .serialization import estimate_bytes, shuffle_sort_key
+from .serialization import estimate_bytes, record_count, shuffle_sort_key
 from .stats import JobStats, TaskStat
 from .types import InputSplit
 
@@ -80,9 +80,13 @@ class _TaskSpec:
     groups: list[tuple[Any, list[Any]]] | None = None  # reduce: key-sorted
 
     def input_records(self) -> int:
+        # record-weighted: a columnar RecordBlock counts its rows, so task
+        # statistics stay comparable between the per-record and block paths
         if self.kind == "map":
-            return len(self.split.records)
-        return sum(len(values) for _, values in self.groups)
+            return sum(record_count(value) for _, value in self.split.records)
+        return sum(
+            record_count(value) for _, values in self.groups for value in values
+        )
 
 
 @dataclass
@@ -241,7 +245,7 @@ class LocalRuntime:
                     kind="map",
                     duration_s=attempt.duration_s,
                     input_records=attempt.input_records,
-                    output_records=len(attempt.emissions),
+                    output_records=_emission_records(attempt.emissions),
                     attempts=attempt.attempts,
                 )
             )
@@ -298,7 +302,7 @@ class LocalRuntime:
                     kind="reduce",
                     duration_s=attempt.duration_s,
                     input_records=attempt.input_records,
-                    output_records=len(attempt.emissions),
+                    output_records=_emission_records(attempt.emissions),
                     attempts=attempt.attempts,
                 )
             )
@@ -390,8 +394,12 @@ class LocalRuntime:
                         f"outside [0, {job.num_reducers})"
                     )
                 buckets[reducer_index].setdefault(key, []).append(value)
-                shuffle_records += 1
-                shuffle_bytes += estimate_bytes(key) + estimate_bytes(value)
+                # per-record accounting: a columnar block counts one record
+                # (and one key copy — Hadoop frames the key with every record)
+                # per row, so block encoding never shows up in the metrics
+                records = record_count(value)
+                shuffle_records += records
+                shuffle_bytes += estimate_bytes(key) * records + estimate_bytes(value)
         stats.shuffle_records = shuffle_records
         stats.shuffle_bytes = shuffle_bytes
         return buckets
@@ -408,11 +416,16 @@ def _cache_bytes(cache: dict[str, Any]) -> int:
     return total
 
 
+def _emission_records(emissions: list[tuple[Any, Any]]) -> int:
+    """Logical records across a task's emissions (blocks count their rows)."""
+    return sum(record_count(value) for _, value in emissions)
+
+
 def _pairs_bytes(pairs: list[tuple[Any, Any]]) -> int:
     total = 0
     for key, value in pairs:
         try:
-            total += estimate_bytes(key) + estimate_bytes(value)
+            total += estimate_bytes(key) * record_count(value) + estimate_bytes(value)
         except TypeError:
             total += 64  # opaque output objects: flat estimate
     return total

@@ -10,12 +10,34 @@ per-container framing.  Any object may opt in by exposing an
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 
-__all__ = ["estimate_bytes", "shuffle_sort_key"]
+from .types import RecordBlock
+
+__all__ = [
+    "estimate_bytes",
+    "record_count",
+    "shuffle_sort_key",
+    "encode_record_block",
+    "decode_record_block",
+]
 
 #: per-container framing overhead (length prefix), bytes
 _FRAME = 4
+
+
+def record_count(value: object) -> int:
+    """Logical records a shuffled value represents.
+
+    A :class:`~repro.mapreduce.types.RecordBlock` counts its rows; any other
+    value is one record.  All shuffle and task accounting goes through this,
+    so columnar blocks stay invisible to the paper's record-count metrics.
+    """
+    if isinstance(value, RecordBlock):
+        return len(value)
+    return 1
 
 
 def estimate_bytes(obj: object) -> int:
@@ -76,3 +98,55 @@ def shuffle_sort_key(key: object) -> tuple:
     # exotic same-type keys still work if orderable; unorderable ones raise,
     # as they always did
     return (5, type(key).__name__, key)
+
+
+# -- columnar wire format ------------------------------------------------------
+#
+# The canonical byte encoding of a RecordBlock, as a real shuffle (or a
+# spill-to-disk path) would frame it: a fixed header followed by the six
+# column buffers.  The in-process runtime passes blocks by reference and only
+# *estimates* sizes, so this is not on the hot path — it exists so the block
+# layout is pinned by tests and reusable by any future out-of-process shuffle.
+
+_BLOCK_MAGIC = b"RBLK"
+_BLOCK_HEADER = struct.Struct("<4sII")  # magic, rows, dims
+
+
+def encode_record_block(block: RecordBlock) -> bytes:
+    """Serialize a block to the compact columnar wire format."""
+    rows = len(block)
+    dims = block.points.shape[1] if block.points.ndim == 2 else 0
+    return b"".join(
+        (
+            _BLOCK_HEADER.pack(_BLOCK_MAGIC, rows, dims),
+            np.ascontiguousarray(block.is_r, dtype=np.uint8).tobytes(),
+            np.ascontiguousarray(block.object_ids, dtype=np.int64).tobytes(),
+            np.ascontiguousarray(block.points, dtype=np.float64).tobytes(),
+            np.ascontiguousarray(block.payloads, dtype=np.int64).tobytes(),
+            np.ascontiguousarray(block.partition_ids, dtype=np.int64).tobytes(),
+            np.ascontiguousarray(block.pivot_distances, dtype=np.float64).tobytes(),
+        )
+    )
+
+
+def decode_record_block(data: bytes) -> RecordBlock:
+    """Inverse of :func:`encode_record_block`."""
+    magic, rows, dims = _BLOCK_HEADER.unpack_from(data)
+    if magic != _BLOCK_MAGIC:
+        raise ValueError("not a RecordBlock byte stream")
+    offset = _BLOCK_HEADER.size
+
+    def column(dtype, count, shape=None):
+        nonlocal offset
+        array = np.frombuffer(data, dtype=dtype, count=count, offset=offset).copy()
+        offset += array.nbytes
+        return array if shape is None else array.reshape(shape)
+
+    return RecordBlock(
+        is_r=column(np.uint8, rows).astype(bool),
+        object_ids=column(np.int64, rows),
+        points=column(np.float64, rows * dims, shape=(rows, dims)),
+        payloads=column(np.int64, rows),
+        partition_ids=column(np.int64, rows),
+        pivot_distances=column(np.float64, rows),
+    )

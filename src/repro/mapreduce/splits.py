@@ -2,11 +2,22 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+from typing import Any
+
+import numpy as np
+
 from repro.core.dataset import Dataset
 
+from .serialization import record_count
 from .types import InputSplit, ObjectRecord
 
-__all__ = ["dataset_splits", "records_from_dataset", "split_records"]
+__all__ = [
+    "dataset_splits",
+    "records_from_dataset",
+    "split_records",
+    "weighted_record_chunks",
+]
 
 
 def records_from_dataset(dataset: Dataset, tag: str) -> list[tuple[str, ObjectRecord]]:
@@ -26,13 +37,54 @@ def records_from_dataset(dataset: Dataset, tag: str) -> list[tuple[str, ObjectRe
     ]
 
 
+def weighted_record_chunks(
+    records: list[tuple[Any, Any]], size: int
+) -> Iterator[list[tuple[Any, Any]]]:
+    """Chunk ``(key, value)`` pairs into runs of ``size`` *logical* records.
+
+    Columnar :class:`RecordBlock` values weigh their row counts, and a block
+    straddling a boundary is sliced so every chunk boundary lands exactly
+    where the per-record path put it — chunk layout (and therefore task
+    counts and the cluster timing model) is independent of the encoding.
+    """
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    chunk: list[tuple[Any, Any]] = []
+    room = size
+    for key, value in records:
+        weight = record_count(value)
+        if weight == 0:  # empty block: carries no records, consumes no room
+            chunk.append((key, value))
+            continue
+        offset = 0
+        while weight - offset > room:
+            # only a RecordBlock can outweigh the remaining room: slice it
+            chunk.append((key, value.take(np.arange(offset, offset + room))))
+            offset += room
+            yield chunk
+            chunk, room = [], size
+        if weight > offset:
+            remainder = (
+                value
+                if offset == 0
+                else value.take(np.arange(offset, weight))
+            )
+            chunk.append((key, remainder))
+            room -= weight - offset
+        if room == 0:
+            yield chunk
+            chunk, room = [], size
+    if chunk:
+        yield chunk
+
+
 def split_records(records: list, split_size: int) -> list[InputSplit]:
-    """Chunk a record list into fixed-size input splits."""
+    """Chunk a record list into input splits of ``split_size`` logical records."""
     if split_size < 1:
         raise ValueError("split_size must be >= 1")
     return [
-        InputSplit(split_id=index, records=records[start : start + split_size])
-        for index, start in enumerate(range(0, len(records), split_size))
+        InputSplit(split_id=index, records=chunk)
+        for index, chunk in enumerate(weighted_record_chunks(records, split_size))
     ]
 
 

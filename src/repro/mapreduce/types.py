@@ -1,12 +1,41 @@
-"""Record types that flow through the simulated cluster."""
+"""Record types that flow through the simulated cluster.
+
+Two representations of the same logical data coexist:
+
+* :class:`ObjectRecord` — one object per Python instance, the row format
+  used for job *input* (and still accepted everywhere for compatibility);
+* :class:`RecordBlock` — a struct-of-arrays batch of objects, the columnar
+  format the mappers emit and the shuffle moves.  A block is an encoding
+  detail, not a unit of account: shuffle counters and task statistics always
+  report *logical records* (``len(block)``), and its estimated wire size is
+  exactly the sum of its records' sizes.
+"""
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field, fields
 
 import numpy as np
 
-__all__ = ["ObjectRecord", "InputSplit"]
+__all__ = ["ObjectRecord", "RecordBlock", "InputSplit", "group_rows_by"]
+
+
+def group_rows_by(keys: np.ndarray) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(key, row_indices)`` per distinct key, keys ascending.
+
+    Row order within a group follows arrival order (stable sort) — the
+    single group-by primitive behind :meth:`RecordBlock.split_by`, the
+    kernel partition builders and the block-routing mappers.
+    """
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    for rows in np.split(order, boundaries):
+        yield int(keys[rows[0]]), rows
 
 #: dataset tags, as in the paper's Figure 3/4
 TAG_R = "R"
@@ -49,6 +78,141 @@ class ObjectRecord:
     def is_from_r(self) -> bool:
         """True when the object belongs to the outer dataset ``R``."""
         return self.dataset == TAG_R
+
+
+@dataclass
+class RecordBlock:
+    """A columnar batch of :class:`ObjectRecord` rows (struct of arrays).
+
+    Parallel 1-d arrays (plus the 2-d point matrix) hold one field each; row
+    ``i`` across all six columns is one logical object.  Blocks make the hot
+    paths array-shaped: mappers route a whole block with one vectorized mask,
+    the shuffle moves one value instead of thousands, and reducers rebuild
+    their partition blocks with concatenation instead of per-record appends.
+    """
+
+    is_r: np.ndarray  # bool: origin flag, True for dataset R
+    object_ids: np.ndarray  # int64
+    points: np.ndarray  # float64, shape (n, dims)
+    payloads: np.ndarray  # int64
+    partition_ids: np.ndarray  # int64
+    pivot_distances: np.ndarray  # float64
+
+    def __len__(self) -> int:
+        return int(self.object_ids.shape[0])
+
+    def __reduce__(self):
+        # positional form, same motivation as ObjectRecord.__reduce__
+        return (
+            type(self),
+            tuple(getattr(self, spec.name) for spec in fields(self)),
+        )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: list[ObjectRecord]) -> "RecordBlock":
+        """Columnarize a list of records (row order preserved)."""
+        n = len(records)
+        dims = records[0].point.shape[0] if n else 0
+        points = np.empty((n, dims), dtype=np.float64)
+        for row, record in enumerate(records):
+            points[row] = record.point
+        return cls(
+            is_r=np.fromiter(
+                (record.is_from_r() for record in records), dtype=bool, count=n
+            ),
+            object_ids=np.fromiter(
+                (record.object_id for record in records), dtype=np.int64, count=n
+            ),
+            points=points,
+            payloads=np.fromiter(
+                (record.payload for record in records), dtype=np.int64, count=n
+            ),
+            partition_ids=np.fromiter(
+                (record.partition_id for record in records), dtype=np.int64, count=n
+            ),
+            pivot_distances=np.fromiter(
+                (record.pivot_distance for record in records), dtype=np.float64, count=n
+            ),
+        )
+
+    @classmethod
+    def gather(cls, values: Iterable["RecordBlock | ObjectRecord"]) -> "RecordBlock":
+        """Concatenate a mixed stream of records and blocks into one block.
+
+        Row order follows the input order, so reducers that gather their
+        ``values`` list see objects in the same sequence the per-record path
+        delivered them.
+        """
+        parts: list[RecordBlock] = []
+        pending: list[ObjectRecord] = []
+        for value in values:
+            if isinstance(value, RecordBlock):
+                if pending:
+                    parts.append(cls.from_records(pending))
+                    pending = []
+                parts.append(value)
+            else:
+                pending.append(value)
+        if pending:
+            parts.append(cls.from_records(pending))
+        if not parts:
+            return cls.from_records([])
+        if len(parts) == 1:
+            return parts[0]
+        return cls(
+            is_r=np.concatenate([part.is_r for part in parts]),
+            object_ids=np.concatenate([part.object_ids for part in parts]),
+            points=np.concatenate([part.points for part in parts]),
+            payloads=np.concatenate([part.payloads for part in parts]),
+            partition_ids=np.concatenate([part.partition_ids for part in parts]),
+            pivot_distances=np.concatenate([part.pivot_distances for part in parts]),
+        )
+
+    # -- row selection ------------------------------------------------------
+
+    def take(self, rows: np.ndarray) -> "RecordBlock":
+        """A new block holding the given rows (in the given order)."""
+        return RecordBlock(
+            is_r=self.is_r[rows],
+            object_ids=self.object_ids[rows],
+            points=self.points[rows],
+            payloads=self.payloads[rows],
+            partition_ids=self.partition_ids[rows],
+            pivot_distances=self.pivot_distances[rows],
+        )
+
+    def split_by(self, keys: np.ndarray) -> Iterator[tuple[int, "RecordBlock"]]:
+        """Yield ``(key, sub-block)`` per distinct key, keys ascending.
+
+        ``keys`` is one int per row (e.g. a routing decision computed with
+        array ops); row order within each sub-block is preserved — this is
+        the batching emit primitive mappers use instead of per-record yields.
+        """
+        for key, rows in group_rows_by(keys):
+            yield key, self.take(rows)
+
+    # -- interop and accounting ---------------------------------------------
+
+    def to_records(self) -> Iterator[ObjectRecord]:
+        """Expand back into per-object records (row order preserved)."""
+        for row in range(len(self)):
+            yield ObjectRecord(
+                dataset=TAG_R if self.is_r[row] else TAG_S,
+                object_id=int(self.object_ids[row]),
+                point=self.points[row],
+                payload=int(self.payloads[row]),
+                partition_id=int(self.partition_ids[row]),
+                pivot_distance=float(self.pivot_distances[row]),
+            )
+
+    def estimated_bytes(self) -> int:
+        """Sum of the per-record wire sizes — blocks are invisible to byte
+        accounting, matching :meth:`ObjectRecord.estimated_bytes` row by row."""
+        dims = self.points.shape[1] if self.points.ndim == 2 else 0
+        per_record = 1 + 8 + dims * 8 + 8 + 8
+        return len(self) * per_record + int(self.payloads.sum())
 
 
 @dataclass

@@ -29,10 +29,13 @@ class TestBlockOf:
 
 class TestRoutingMapper:
     def run_mapper(self, record, num_blocks=3):
+        # block-buffering mapper: map() buffers, cleanup() emits the blocks
         mapper = BlockRoutingMapper()
         ctx = Context("t", {"num_blocks": num_blocks}, num_reducers=num_blocks**2)
         mapper.setup(ctx)
-        return list(mapper.map(None, record, ctx)), ctx
+        emissions = list(mapper.map(None, record, ctx))
+        emissions.extend(mapper.cleanup(ctx))
+        return emissions, ctx
 
     def test_r_goes_to_its_row(self):
         record = ObjectRecord("R", 5, np.zeros(2))
@@ -40,6 +43,7 @@ class TestRoutingMapper:
         keys = [key for key, _ in emissions]
         row = block_of(5, 3)
         assert keys == [row * 3 + j for j in range(3)]
+        assert all(len(block) == 1 for _, block in emissions)
 
     def test_s_goes_to_its_column(self):
         record = ObjectRecord("S", 5, np.zeros(2))
@@ -52,6 +56,13 @@ class TestRoutingMapper:
         record = ObjectRecord("S", 5, np.zeros(2))
         _, ctx = self.run_mapper(record, num_blocks=4)
         assert ctx.counters.value("shuffle", "s_replicas") == 4
+
+    def test_vectorized_block_hash_matches_scalar(self):
+        ids = np.arange(0, 5000, 7, dtype=np.int64)
+        from repro.joins.block_framework import block_of_ids
+
+        vectorized = block_of_ids(ids, 6)
+        assert vectorized.tolist() == [block_of(int(i), 6) for i in ids]
 
     def test_every_pair_meets(self):
         """Any (r, s) id pair shares exactly one reducer."""

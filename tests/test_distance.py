@@ -140,3 +140,64 @@ class TestRegistry:
     def test_rejects_non_2d_batch(self):
         with pytest.raises(ValueError):
             get_metric("l2").distances(np.zeros(2), np.zeros(2))
+
+
+class TestMinkowskiFamilyNames:
+    """``get_metric`` resolves the whole L_p family from "l<p>" names."""
+
+    @pytest.mark.parametrize("name,p", [("l3", 3.0), ("l4", 4.0), ("l2.5", 2.5)])
+    def test_lp_names_resolve(self, name, p):
+        metric = get_metric(name)
+        assert isinstance(metric, MinkowskiMetric)
+        assert metric.p == p
+
+    def test_name_round_trips(self):
+        metric = get_metric("l3")
+        assert metric.name == "l3"
+        assert get_metric(metric.name).p == 3.0
+
+    def test_specialized_kernels_keep_priority(self):
+        # "l1"/"l2" resolve to the dedicated classes, not MinkowskiMetric
+        assert type(get_metric("l1")) is ManhattanMetric
+        assert type(get_metric("l2")) is EuclideanMetric
+
+    def test_l3_distance_value(self):
+        metric = get_metric("l3")
+        value = metric.distance(np.zeros(2), np.array([1.0, 1.0]))
+        assert value == pytest.approx(2.0 ** (1.0 / 3.0))
+        assert metric.pairs_computed == 1
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError, match="p must be >= 1"):
+            get_metric("l0.5")
+
+    def test_non_numeric_suffix_still_unknown(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            get_metric("lx")
+
+
+class TestPairDistances:
+    """Row-aligned gather kernel: counted, and identical to per-query scans."""
+
+    @pytest.mark.parametrize("name", ["l1", "l2", "linf", "l3"])
+    def test_matches_one_to_many_bitwise(self, name):
+        rng = np.random.default_rng(4)
+        query = rng.random(5)
+        points = rng.random((40, 5))
+        metric = get_metric(name)
+        via_scan = metric.distances(query, points)
+        via_gather = metric.pair_distances(np.broadcast_to(query, points.shape), points)
+        assert np.array_equal(via_scan, via_gather)
+
+    def test_counts_rows(self):
+        metric = get_metric("l2")
+        xs = np.zeros((7, 2))
+        metric.pair_distances(xs, xs)
+        assert metric.pairs_computed == 7
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            get_metric("l2").pair_distances(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_empty(self):
+        assert get_metric("l2").pair_distances(np.zeros((0, 2)), np.zeros((0, 2))).size == 0

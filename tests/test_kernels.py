@@ -8,13 +8,15 @@ from repro.core.bounds import compute_thetas
 from repro.core.knn import brute_force_knn_join
 from repro.core.summary import build_partial_summary
 from repro.joins.kernels import (
+    build_partition_blocks,
     build_r_blocks,
     build_s_blocks,
     knn_join_kernel,
+    knn_join_kernel_reference,
     local_ring_stats,
     local_theta,
 )
-from repro.mapreduce.types import ObjectRecord
+from repro.mapreduce.types import ObjectRecord, RecordBlock
 
 
 def records_for(dataset, tag, assignment):
@@ -110,6 +112,104 @@ class TestKernelCorrectness:
         r, s, r_blocks, _, thetas, ring, pivots, pdm, k = kernel_world()
         with pytest.raises(ValueError, match="no S objects"):
             list(knn_join_kernel(get_metric("l2"), k, r_blocks, {}, thetas, ring, pivots, pdm))
+
+
+def run_kernel(kernel, world, **flags):
+    _, _, r_blocks, s_blocks, thetas, ring, pivots, pdm, k = world
+    metric = get_metric("l2")
+    results = {
+        r_id: (ids.tolist(), dists.tolist())
+        for r_id, ids, dists in kernel(
+            metric, k, r_blocks, s_blocks, thetas, ring, pivots, pdm, **flags
+        )
+    }
+    return results, metric.pairs_computed
+
+
+class TestVectorizedMatchesReference:
+    """The columnar kernel's contract: bit-identical to the seed kernel —
+    same neighbor ids, same distances, same ``pairs_computed``."""
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            dict(),
+            dict(use_hyperplane_pruning=False),
+            dict(use_ring_pruning=False),
+            dict(use_hyperplane_pruning=False, use_ring_pruning=False),
+        ],
+    )
+    def test_identical_under_all_pruning_flags(self, flags):
+        world = kernel_world(seed=11, num_r=80, num_s=120, num_pivots=9, k=5)
+        expected, expected_pairs = run_kernel(knn_join_kernel_reference, world, **flags)
+        got, got_pairs = run_kernel(knn_join_kernel, world, **flags)
+        assert got == expected
+        assert got_pairs == expected_pairs
+
+    def test_identical_on_duplicate_points(self):
+        """Adversarial ties: coincident objects, equal distances everywhere."""
+        rng = np.random.default_rng(21)
+        base = rng.integers(0, 3, size=(30, 2)).astype(float)
+        points = np.vstack([base, base, base])
+        r = Dataset(points, name="r")
+        s = Dataset(points.copy(), ids=np.arange(500, 500 + 90), name="s")
+        metric = get_metric("l2")
+        pivots = rng.random((5, 2))
+        partitioner = VoronoiPartitioner(pivots, metric)
+        ar, as_ = partitioner.assign(r), partitioner.assign(s)
+        tr = build_partial_summary(ar.partition_ids, ar.pivot_distances, 0)
+        ts = build_partial_summary(as_.partition_ids, as_.pivot_distances, 4)
+        pdm = partitioner.pivot_distance_matrix()
+        thetas = compute_thetas(tr, ts, pdm, 4)
+        ring = {pid: (ts.get(pid).lower, ts.get(pid).upper) for pid in ts.partition_ids()}
+        r_blocks = build_r_blocks(records_for(r, "R", ar))
+        s_blocks = build_s_blocks(records_for(s, "S", as_))
+        world = (r, s, r_blocks, s_blocks, thetas, ring, pivots, pdm, 4)
+        expected, expected_pairs = run_kernel(knn_join_kernel_reference, world)
+        got, got_pairs = run_kernel(knn_join_kernel, world)
+        assert got == expected
+        assert got_pairs == expected_pairs
+
+    def test_identical_when_k_exceeds_s(self):
+        world = kernel_world(seed=13, num_r=25, num_s=4, num_pivots=3, k=9)
+        expected, expected_pairs = run_kernel(knn_join_kernel_reference, world)
+        got, got_pairs = run_kernel(knn_join_kernel, world)
+        assert got == expected
+        assert got_pairs == expected_pairs
+
+
+class TestColumnarBuilders:
+    def test_build_partition_blocks_splits_by_origin(self):
+        r, s, r_blocks, s_blocks, *_ = kernel_world(seed=2)
+        ar_records = records_for(r, "R", _assignment_of(r))
+        as_records = records_for(s, "S", _assignment_of(s))
+        mixed = [
+            RecordBlock.from_records(ar_records[:30] + as_records[:40]),
+            RecordBlock.from_records(ar_records[30:] + as_records[40:]),
+        ]
+        got_r, got_s = build_partition_blocks(mixed)
+        assert sum(b.ids.size for b in got_r.values()) == len(r)
+        assert sum(b.ids.size for b in got_s.values()) == len(s)
+        for pid, block in got_s.items():
+            order = np.lexsort((block.ids, block.pivot_dists))
+            assert np.array_equal(order, np.arange(block.ids.size))
+
+    def test_builders_accept_blocks_and_records_identically(self):
+        r, _, _, _, _, _, _, _, _ = kernel_world(seed=4)
+        records = records_for(r, "R", _assignment_of(r))
+        from_records = build_r_blocks(records)
+        from_block = build_r_blocks(RecordBlock.from_records(records))
+        assert set(from_records) == set(from_block)
+        for pid in from_records:
+            assert np.array_equal(from_records[pid].ids, from_block[pid].ids)
+            assert np.array_equal(from_records[pid].points, from_block[pid].points)
+
+
+def _assignment_of(dataset):
+    """A fresh Voronoi assignment, purely for the grouping tests."""
+    metric = get_metric("l2")
+    pivots = np.random.default_rng(1).random((6, dataset.points.shape[1]))
+    return VoronoiPartitioner(pivots, metric).assign(dataset)
 
 
 class TestLocalTheta:

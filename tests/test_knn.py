@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import get_metric
-from repro.core.knn import KBestList, brute_force_knn_join, knn_of_point
+from repro.core.knn import (
+    KBestList,
+    ReferenceKBestList,
+    brute_force_knn_join,
+    knn_of_point,
+    select_k_smallest,
+)
 
 
 class TestKBestList:
@@ -53,6 +59,81 @@ class TestKBestList:
     def test_k_must_be_positive(self):
         with pytest.raises(ValueError):
             KBestList(0)
+
+
+def assert_same_state(fast: KBestList, oracle: ReferenceKBestList):
+    assert np.array_equal(fast.dists, oracle.dists)
+    assert np.array_equal(fast.ids, oracle.ids)
+    assert fast.theta == oracle.theta
+    assert fast.is_full() == oracle.is_full()
+
+
+class TestKBestAgainstReference:
+    """Property tests: argpartition selection == concatenate+full-lexsort.
+
+    The adversarial axes the issue names: duplicate distances, duplicate
+    ids, k > n, and incremental batch feeding — plus random fuzz over all
+    of them combined.
+    """
+
+    def feed_both(self, k, batches):
+        fast, oracle = KBestList(k), ReferenceKBestList(k)
+        for dists, ids in batches:
+            fast.update(np.asarray(dists, dtype=np.float64), np.asarray(ids))
+            oracle.update(np.asarray(dists, dtype=np.float64), np.asarray(ids))
+            assert_same_state(fast, oracle)
+        return fast, oracle
+
+    def test_duplicate_distances_at_the_cut(self):
+        # five candidates share the k-th distance; ids decide who survives
+        self.feed_both(
+            3, [([1.0, 2.0, 2.0, 2.0, 2.0, 2.0], [50, 40, 10, 30, 20, 5])]
+        )
+
+    def test_all_identical_distances(self):
+        self.feed_both(4, [(np.zeros(12), np.arange(12)[::-1])])
+
+    def test_duplicate_ids_across_batches(self):
+        # the same id offered twice with different distances (merge jobs
+        # dedup upstream, but selection must still be deterministic)
+        self.feed_both(2, [([0.5, 0.9], [7, 8]), ([0.4, 0.6], [7, 9])])
+
+    def test_k_larger_than_candidate_count(self):
+        fast, oracle = self.feed_both(10, [([3.0, 1.0], [2, 1]), ([2.0], [3])])
+        assert not fast.is_full()
+        assert fast.theta == np.inf
+
+    def test_incremental_batches_match_one_shot(self):
+        rng = np.random.default_rng(5)
+        dists = np.round(rng.random(200), 2)  # coarse grid => many ties
+        ids = rng.permutation(200)
+        fast, _ = self.feed_both(
+            7, [(dists[i : i + 13], ids[i : i + 13]) for i in range(0, 200, 13)]
+        )
+        one_shot = ReferenceKBestList(7)
+        one_shot.update(dists, ids)
+        assert_same_state(fast, one_shot)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_fuzz_adversarial_batches(self, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 12))
+        batches = []
+        for _ in range(int(rng.integers(1, 8))):
+            n = int(rng.integers(0, 30))
+            # quantized distances + small id pool: dense tie collisions
+            dists = rng.integers(0, 5, size=n) / 4.0
+            ids = rng.integers(0, 40, size=n)
+            batches.append((dists, ids))
+        self.feed_both(k, batches)
+
+    def test_select_k_smallest_equals_lexsort_prefix(self):
+        rng = np.random.default_rng(9)
+        dists = rng.integers(0, 6, size=300) / 5.0
+        ids = rng.integers(0, 100, size=300)
+        for k in (1, 5, 299, 300, 500):
+            expected = np.lexsort((ids, dists))[:k]
+            assert np.array_equal(select_k_smallest(dists, ids, k), expected)
 
 
 class TestKnnOfPoint:

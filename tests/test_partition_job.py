@@ -27,23 +27,34 @@ def run(world, split_size=32, k=4):
 
 class TestJobOutput:
     def test_every_object_emitted_once(self, world):
+        """Output is columnar — blocks keyed by cell, every object in one."""
         r, s, pivots, result, tr, ts = run(world)
-        assert len(result.outputs) == len(r) + len(s)
-        ids = sorted(record.object_id for _, record in result.outputs)
+        total = sum(len(block) for _, block in result.outputs)
+        assert total == len(r) + len(s)
+        ids = sorted(
+            record.object_id for _, block in result.outputs for record in block.to_records()
+        )
         assert ids == sorted(list(r.ids) + list(s.ids))
 
     def test_records_annotated_with_cells_and_distances(self, world):
         r, s, pivots, result, tr, ts = run(world)
         partitioner = VoronoiPartitioner(pivots, get_metric("l2"))
-        for pid, record in result.outputs:
-            assert pid == record.partition_id
-            true_dists = np.linalg.norm(pivots - record.point, axis=1)
-            assert record.pivot_distance == pytest.approx(true_dists.min())
+        for pid, block in result.outputs:
+            assert np.all(block.partition_ids == pid)
+            for record in block.to_records():
+                true_dists = np.linalg.norm(pivots - record.point, axis=1)
+                assert record.pivot_distance == pytest.approx(true_dists.min())
 
     def test_map_only_no_shuffle(self, world):
         _, _, _, result, _, _ = run(world)
         assert result.stats.shuffle_bytes == 0
         assert result.outputs_by_reducer is None
+
+    def test_map_task_stats_count_records_not_blocks(self, world):
+        """Block encoding must stay invisible to the record accounting."""
+        r, s, _, result, _, _ = run(world, split_size=32)
+        assert sum(t.input_records for t in result.stats.map_tasks) == len(r) + len(s)
+        assert sum(t.output_records for t in result.stats.map_tasks) == len(r) + len(s)
 
     def test_distance_pairs_counted(self, world):
         r, s, pivots, result, tr, ts = run(world)

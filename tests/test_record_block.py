@@ -1,0 +1,218 @@
+"""Unit tests for the columnar shuffle block and its accounting contract.
+
+The contract under test: a :class:`RecordBlock` is an *encoding*, never a
+unit of account — shuffle counters, task statistics and byte estimates must
+be identical whether the same records move per-object or as blocks.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.mapreduce import (
+    BlockBufferingMapper,
+    Context,
+    LocalRuntime,
+    Mapper,
+    MapReduceJob,
+    ModPartitioner,
+    ObjectRecord,
+    RecordBlock,
+    Reducer,
+    decode_record_block,
+    encode_record_block,
+    estimate_bytes,
+    record_count,
+    split_records,
+)
+
+
+def sample_records(n=10, dims=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        ObjectRecord(
+            dataset="R" if row % 2 == 0 else "S",
+            object_id=row,
+            point=rng.random(dims),
+            payload=int(rng.integers(0, 50)),
+            partition_id=row % 4,
+            pivot_distance=float(rng.random()),
+        )
+        for row in range(n)
+    ]
+
+
+class TestRoundTrip:
+    def test_from_records_to_records(self):
+        records = sample_records()
+        clones = list(RecordBlock.from_records(records).to_records())
+        assert len(clones) == len(records)
+        for original, clone in zip(records, clones):
+            assert clone.dataset == original.dataset
+            assert clone.object_id == original.object_id
+            assert clone.payload == original.payload
+            assert clone.partition_id == original.partition_id
+            assert clone.pivot_distance == original.pivot_distance
+            assert np.array_equal(clone.point, original.point)
+
+    def test_gather_mixes_records_and_blocks(self):
+        records = sample_records(8)
+        mixed = [records[0], RecordBlock.from_records(records[1:4]), records[4],
+                 RecordBlock.from_records(records[5:])]
+        gathered = RecordBlock.gather(mixed)
+        assert len(gathered) == 8
+        assert [r.object_id for r in gathered.to_records()] == list(range(8))
+
+    def test_gather_empty(self):
+        assert len(RecordBlock.gather([])) == 0
+
+    def test_take_preserves_row_order(self):
+        block = RecordBlock.from_records(sample_records(6))
+        sub = block.take(np.array([4, 1, 3]))
+        assert sub.object_ids.tolist() == [4, 1, 3]
+
+    def test_split_by_groups_rows_stably(self):
+        block = RecordBlock.from_records(sample_records(10))
+        parts = dict(block.split_by(block.partition_ids))
+        assert sorted(parts) == [0, 1, 2, 3]
+        for pid, sub in parts.items():
+            assert np.all(sub.partition_ids == pid)
+            # arrival order preserved within the group
+            assert np.all(np.diff(sub.object_ids) > 0)
+
+    def test_pickle_round_trip(self):
+        block = RecordBlock.from_records(sample_records(5))
+        clone = pickle.loads(pickle.dumps(block))
+        assert type(clone) is RecordBlock
+        assert np.array_equal(clone.object_ids, block.object_ids)
+        assert np.array_equal(clone.points, block.points)
+
+
+class TestWireFormat:
+    def test_encode_decode_round_trip(self):
+        block = RecordBlock.from_records(sample_records(7))
+        clone = decode_record_block(encode_record_block(block))
+        assert np.array_equal(clone.is_r, block.is_r)
+        assert np.array_equal(clone.object_ids, block.object_ids)
+        assert np.array_equal(clone.points, block.points)
+        assert np.array_equal(clone.payloads, block.payloads)
+        assert np.array_equal(clone.partition_ids, block.partition_ids)
+        assert np.array_equal(clone.pivot_distances, block.pivot_distances)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="RecordBlock"):
+            decode_record_block(b"JUNK" + b"\x00" * 16)
+
+
+class TestAccountingInvisibility:
+    def test_record_count(self):
+        records = sample_records(9)
+        assert record_count(records[0]) == 1
+        assert record_count(RecordBlock.from_records(records)) == 9
+        assert record_count("a plain value") == 1
+
+    def test_estimated_bytes_is_per_record_sum(self):
+        records = sample_records(12)
+        block = RecordBlock.from_records(records)
+        assert estimate_bytes(block) == sum(estimate_bytes(r) for r in records)
+
+
+class TestWeightedChunking:
+    """Split and DFS chunk boundaries are logical-record positions."""
+
+    def test_split_records_slices_blocks_at_seed_boundaries(self):
+        from repro.mapreduce import weighted_record_chunks
+
+        records = sample_records(50)
+        per_record = [(0, r) for r in records]
+        as_blocks = [
+            (0, RecordBlock.from_records(records[:33])),
+            (0, RecordBlock.from_records(records[33:])),
+        ]
+        seed_layout = [
+            sum(record_count(v) for _, v in chunk)
+            for chunk in weighted_record_chunks(per_record, 16)
+        ]
+        block_layout = [
+            sum(record_count(v) for _, v in chunk)
+            for chunk in weighted_record_chunks(as_blocks, 16)
+        ]
+        assert block_layout == seed_layout == [16, 16, 16, 2]
+        # row content at each boundary matches too
+        flat = [
+            record.object_id
+            for chunk in weighted_record_chunks(as_blocks, 16)
+            for _, value in chunk
+            for record in value.to_records()
+        ]
+        assert flat == [r.object_id for r in records]
+
+    def test_split_records_unchanged_for_plain_records(self):
+        records = [(i, i) for i in range(10)]
+        splits = split_records(records, 4)
+        assert [len(s.records) for s in splits] == [4, 4, 2]
+
+    def test_dfs_record_count_weighs_blocks(self):
+        from repro.mapreduce import DistributedFileSystem
+
+        records = sample_records(20)
+        dfs = DistributedFileSystem(num_nodes=3, chunk_records=8)
+        dfs.put("blocks", [(0, RecordBlock.from_records(records))])
+        file = dfs._files["blocks"]
+        assert file.record_count() == 20
+        assert [len(s.records) > 0 for s in dfs.splits("blocks")]
+        assert sum(
+            record_count(v) for s in dfs.splits("blocks") for _, v in s.records
+        ) == 20
+        assert len(dfs.splits("blocks")) == 3  # 8 + 8 + 4 logical records
+
+
+class SprayRecordsMapper(Mapper):
+    """Per-record routing by object id (the seed-style shuffle)."""
+
+    def map(self, key, value, ctx: Context):
+        yield int(value.object_id) % ctx.num_reducers, value
+
+
+class SprayBlocksMapper(BlockBufferingMapper):
+    """Identical routing decision, emitted as columnar sub-blocks."""
+
+    def route_block(self, block: RecordBlock, ctx: Context):
+        yield from block.split_by(block.object_ids % ctx.num_reducers)
+
+
+class CountRecordsReducer(Reducer):
+    def reduce(self, key, values, ctx: Context):
+        yield key, sum(record_count(value) for value in values)
+
+
+class TestShuffleParity:
+    """The same job per-record vs columnar: identical accounting everywhere."""
+
+    def run(self, mapper_factory):
+        records = [(r.object_id, r) for r in sample_records(60, seed=3)]
+        job = MapReduceJob(
+            name="parity",
+            mapper_factory=mapper_factory,
+            reducer_factory=CountRecordsReducer,
+            partitioner=ModPartitioner(),
+            num_reducers=3,
+        )
+        return LocalRuntime().run(job, split_records(records, 16))
+
+    def test_blocks_invisible_to_all_counters(self):
+        per_record = self.run(SprayRecordsMapper)
+        columnar = self.run(SprayBlocksMapper)
+        assert columnar.stats.shuffle_records == per_record.stats.shuffle_records == 60
+        assert columnar.stats.shuffle_bytes == per_record.stats.shuffle_bytes
+        assert dict(columnar.outputs) == dict(per_record.outputs)
+        assert [t.input_records for t in columnar.stats.map_tasks] == [
+            t.input_records for t in per_record.stats.map_tasks
+        ]
+        assert [t.output_records for t in columnar.stats.map_tasks] == [
+            t.output_records for t in per_record.stats.map_tasks
+        ]
+        assert [t.input_records for t in columnar.stats.reduce_tasks] == [
+            t.input_records for t in per_record.stats.reduce_tasks
+        ]
