@@ -77,10 +77,11 @@ def bench_scale() -> float:
 def bench_engine() -> str:
     """Execution engine for bench runs (``REPRO_ENGINE``, default serial).
 
-    All engines yield identical results, counters and shuffle accounting;
-    task durations are measured as per-task CPU seconds, so the simulated
-    running times stay comparable (up to timing noise) too.  The engine used
-    is stamped into every saved record.
+    All engines — including the persistent ``threads-pooled`` /
+    ``processes-pooled`` backends — yield identical results, counters and
+    shuffle accounting; task durations are measured as per-task CPU seconds,
+    so the simulated running times stay comparable (up to timing noise) too.
+    The engine used is stamped into every saved record.
     """
     engine = os.environ.get("REPRO_ENGINE", DEFAULT_ENGINE)
     if engine not in available_engines():

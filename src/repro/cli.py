@@ -94,7 +94,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=list(available_engines()),
         default=DEFAULT_ENGINE,
-        help="task execution backend for the MapReduce jobs",
+        help=(
+            "task execution backend for the MapReduce jobs; the *-pooled "
+            "engines keep one warm worker pool across all jobs of the join"
+        ),
     )
     join.add_argument(
         "--workers",

@@ -19,7 +19,7 @@ from repro.core.distance import Metric, get_metric
 from repro.core.result import KnnJoinResult
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.engines import DEFAULT_ENGINE, available_engines
+from repro.mapreduce.engines import DEFAULT_ENGINE, Executor, available_engines
 from repro.mapreduce.runtime import LocalRuntime
 from repro.mapreduce.stats import JobStats
 
@@ -40,9 +40,17 @@ class JoinConfig:
     per node, so this is also the modelled node count of the join job.
 
     ``engine`` selects the execution backend every MapReduce job of the join
-    runs on (``serial``, ``threads`` or ``processes``); ``max_workers`` sizes
-    the parallel pools.  All engines produce bit-identical results — they
-    differ only in wall-clock.
+    runs on (``serial``, ``threads``, ``processes``, or the persistent
+    ``threads-pooled`` / ``processes-pooled`` variants that keep one warm
+    worker pool across every phase, retry round and job of the driver run);
+    ``max_workers`` sizes the parallel pools.  All engines produce
+    bit-identical results — they differ only in wall-clock.
+
+    ``shared_executor`` (optional, not part of the value of the config)
+    injects a ready :class:`~repro.mapreduce.engines.Executor` every runtime
+    this config makes will reuse — the way a multi-join pipeline keeps one
+    persistent pool warm across *driver runs*.  The caller owns its
+    lifecycle; drivers close only runtimes whose executor they created.
     """
 
     k: int = 10
@@ -52,6 +60,7 @@ class JoinConfig:
     split_size: int = 4096
     engine: str = DEFAULT_ENGINE
     max_workers: int | None = None
+    shared_executor: Executor | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -78,8 +87,13 @@ class JoinConfig:
         The single seam between join drivers and the execution substrate:
         drivers never construct runtimes inline, so swapping backends is a
         config change, not a code change.  ``runtime_kwargs`` pass through to
-        :class:`LocalRuntime` (e.g. ``fault_injector``).
+        :class:`LocalRuntime` (e.g. ``fault_injector``).  Drivers run the
+        returned runtime as a context manager, so executors it constructs
+        (including persistent pools) are torn down when the join finishes;
+        a ``shared_executor`` is reused as-is and stays open for the caller.
         """
+        if self.shared_executor is not None:
+            runtime_kwargs.setdefault("executor", self.shared_executor)
         return LocalRuntime(
             engine=self.engine, max_workers=self.max_workers, **runtime_kwargs
         )

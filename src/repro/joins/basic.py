@@ -103,7 +103,6 @@ class BroadcastJoin(KnnJoinAlgorithm):
     def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
         config = self.config
         self._check_inputs(r, s, config.k)
-        runtime = config.make_runtime()
         job_spec = MapReduceJob(
             name="broadcast-join",
             mapper_factory=BroadcastMapper,
@@ -112,7 +111,8 @@ class BroadcastJoin(KnnJoinAlgorithm):
             num_reducers=config.num_reducers,
             cache={"metric_name": config.metric_name, "k": config.k},
         )
-        job = runtime.run(job_spec, dataset_splits(r, s, config.split_size))
+        with config.make_runtime() as runtime:
+            job = runtime.run(job_spec, dataset_splits(r, s, config.split_size))
 
         result = KnnJoinResult(config.k)
         for r_id, (ids, dists) in job.outputs:

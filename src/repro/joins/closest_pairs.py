@@ -133,42 +133,43 @@ class TopKClosestPairs:
             raise ValueError("k exceeds |R| x |S|")
         rng = np.random.default_rng(config.seed)
         master_metric = get_metric(config.metric_name)
-        runtime = config.make_runtime()
 
         selector = make_pivot_selector(_pivot_view(config))
         pivots = selector.select(
             r, min(config.num_pivots, len(r)), master_metric, rng
         )
-        job1 = run_partitioning_job(r, s, pivots, config, runtime)
-        pdm = VoronoiPartitioner(pivots, master_metric).pivot_distance_matrix()
+        # one runtime (one warm pool under pooled engines) for all three jobs
+        with config.make_runtime() as runtime:
+            job1 = run_partitioning_job(r, s, pivots, config, runtime)
+            pdm = VoronoiPartitioner(pivots, master_metric).pivot_distance_matrix()
 
-        # Coverage: a global top-k pair (r, s) appears among r's local k
-        # nearest in its block (fewer than k better pairs exist anywhere).
-        # Excluding identity pairs costs one slot per r, hence k + 1.
-        kernel_k = min(config.k + (1 if self.exclude_self else 0), len(s))
-        job2_spec = block_join_spec(
-            name="closest-pairs-block",
-            reducer_factory=ClosestPairsBlockReducer,
-            num_blocks=config.num_blocks,
-            cache={
-                "metric_name": config.metric_name,
-                "k": kernel_k,
-                "pivots": pivots,
-                "pivot_dist_matrix": pdm,
-                "exclude_self": self.exclude_self,
-            },
-        )
-        job2 = runtime.run(job2_spec, split_records(job1.outputs, config.split_size))
+            # Coverage: a global top-k pair (r, s) appears among r's local k
+            # nearest in its block (fewer than k better pairs exist anywhere).
+            # Excluding identity pairs costs one slot per r, hence k + 1.
+            kernel_k = min(config.k + (1 if self.exclude_self else 0), len(s))
+            job2_spec = block_join_spec(
+                name="closest-pairs-block",
+                reducer_factory=ClosestPairsBlockReducer,
+                num_blocks=config.num_blocks,
+                cache={
+                    "metric_name": config.metric_name,
+                    "k": kernel_k,
+                    "pivots": pivots,
+                    "pivot_dist_matrix": pdm,
+                    "exclude_self": self.exclude_self,
+                },
+            )
+            job2 = runtime.run(job2_spec, split_records(job1.outputs, config.split_size))
 
-        merge_spec = MapReduceJob(
-            name="closest-pairs-merge",
-            mapper_factory=PairMergeMapper,
-            reducer_factory=PairMergeReducer,
-            partitioner=ModPartitioner(),
-            num_reducers=1,
-            cache={"k": config.k},
-        )
-        job3 = runtime.run(merge_spec, split_records(job2.outputs, config.split_size))
+            merge_spec = MapReduceJob(
+                name="closest-pairs-merge",
+                mapper_factory=PairMergeMapper,
+                reducer_factory=PairMergeReducer,
+                partitioner=ModPartitioner(),
+                num_reducers=1,
+                cache={"k": config.k},
+            )
+            job3 = runtime.run(merge_spec, split_records(job2.outputs, config.split_size))
 
         pairs = [
             (int(r_id), int(s_id), float(dist))

@@ -72,8 +72,6 @@ class HBRJ(KnnJoinAlgorithm):
     def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
         config = self.config
         self._check_inputs(r, s, config.k)
-        runtime = config.make_runtime()
-
         job1_spec = block_join_spec(
             name="hbrj-block-join",
             reducer_factory=HbrjJoinReducer,
@@ -84,8 +82,10 @@ class HBRJ(KnnJoinAlgorithm):
                 "rtree_capacity": config.rtree_capacity,
             },
         )
-        job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
-        job2 = run_merge_job(job1.outputs, config, runtime)
+        # one runtime (one warm pool under the pooled engines) for both jobs
+        with config.make_runtime() as runtime:
+            job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
+            job2 = run_merge_job(job1.outputs, config, runtime)
 
         result = KnnJoinResult(config.k)
         for r_id, (ids, dists) in job2.outputs:

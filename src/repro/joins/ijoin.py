@@ -79,8 +79,6 @@ class IJoinBlock(KnnJoinAlgorithm):
     def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
         config = self.config
         self._check_inputs(r, s, config.k)
-        runtime = config.make_runtime()
-
         job1_spec = block_join_spec(
             name="ijoin-block-join",
             reducer_factory=IJoinBlockReducer,
@@ -94,8 +92,10 @@ class IJoinBlock(KnnJoinAlgorithm):
                 "seed": config.seed,
             },
         )
-        job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
-        job2 = run_merge_job(job1.outputs, config, runtime)
+        # one runtime (one warm pool under the pooled engines) for both jobs
+        with config.make_runtime() as runtime:
+            job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
+            job2 = run_merge_job(job1.outputs, config, runtime)
 
         result = KnnJoinResult(config.k)
         for r_id, (ids, dists) in job2.outputs:

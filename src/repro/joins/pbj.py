@@ -94,7 +94,6 @@ class PBJ(KnnJoinAlgorithm):
         self._check_inputs(r, s, config.k)
         rng = np.random.default_rng(config.seed)
         master_metric = self._master_metric()
-        runtime = config.make_runtime()
         phases: dict[str, float] = {}
 
         # pivot selection, exactly as PGBJ's preprocessing
@@ -104,29 +103,31 @@ class PBJ(KnnJoinAlgorithm):
         pivots = selector.select(r, config.num_pivots, master_metric, rng)
         phases["pivot_selection"] = time.perf_counter() - started
 
-        # first job: annotate every object with cell id + pivot distance
-        job1 = run_partitioning_job(r, s, pivots, config, runtime)
+        # one runtime (one warm pool under pooled engines) for all three jobs
+        with config.make_runtime() as runtime:
+            # first job: annotate every object with cell id + pivot distance
+            job1 = run_partitioning_job(r, s, pivots, config, runtime)
 
-        # pivot distance matrix, broadcast to the join reducers
-        partitioner = VoronoiPartitioner(pivots, master_metric)
-        pdm = partitioner.pivot_distance_matrix()
+            # pivot distance matrix, broadcast to the join reducers
+            partitioner = VoronoiPartitioner(pivots, master_metric)
+            pdm = partitioner.pivot_distance_matrix()
 
-        # second job: block join with locally derived bounds
-        job2_spec = block_join_spec(
-            name="pbj-block-join",
-            reducer_factory=PbjJoinReducer,
-            num_blocks=config.num_blocks,
-            cache={
-                "metric_name": config.metric_name,
-                "k": config.k,
-                "pivots": pivots,
-                "pivot_dist_matrix": pdm,
-            },
-        )
-        job2 = runtime.run(job2_spec, split_records(job1.outputs, config.split_size))
+            # second job: block join with locally derived bounds
+            job2_spec = block_join_spec(
+                name="pbj-block-join",
+                reducer_factory=PbjJoinReducer,
+                num_blocks=config.num_blocks,
+                cache={
+                    "metric_name": config.metric_name,
+                    "k": config.k,
+                    "pivots": pivots,
+                    "pivot_dist_matrix": pdm,
+                },
+            )
+            job2 = runtime.run(job2_spec, split_records(job1.outputs, config.split_size))
 
-        # third job: merge the per-block candidate lists
-        job3 = run_merge_job(job2.outputs, config, runtime)
+            # third job: merge the per-block candidate lists
+            job3 = run_merge_job(job2.outputs, config, runtime)
 
         result = KnnJoinResult(config.k)
         for r_id, (ids, dists) in job3.outputs:

@@ -155,7 +155,6 @@ class PGBJ(KnnJoinAlgorithm):
         self._check_inputs(r, s, config.k)
         rng = np.random.default_rng(config.seed)
         master_metric = self._master_metric()
-        runtime = config.make_runtime()
         phases: dict[str, float] = {}
 
         # -- preprocessing: pivot selection on the master ---------------------
@@ -164,50 +163,53 @@ class PGBJ(KnnJoinAlgorithm):
         pivots = selector.select(r, config.num_pivots, master_metric, rng)
         phases["pivot_selection"] = time.perf_counter() - started
 
-        # -- first job: Voronoi partitioning + summaries ----------------------
-        job1 = run_partitioning_job(r, s, pivots, config, runtime)
-        tr, ts, merge_seconds = merge_summaries(job1, config.k)
-        phases["index_merging"] = merge_seconds
+        # one runtime (and, for pooled engines, one warm worker pool) serves
+        # both MapReduce jobs of the pipeline; closed when the join finishes
+        with config.make_runtime() as runtime:
+            # -- first job: Voronoi partitioning + summaries ------------------
+            job1 = run_partitioning_job(r, s, pivots, config, runtime)
+            tr, ts, merge_seconds = merge_summaries(job1, config.k)
+            phases["index_merging"] = merge_seconds
 
-        # -- master: theta/LB bounds and partition grouping -------------------
-        started = time.perf_counter()
-        partitioner = VoronoiPartitioner(pivots, master_metric)
-        pdm = partitioner.pivot_distance_matrix()
-        thetas = compute_thetas(tr, ts, pdm, config.k)
-        lb_matrix = compute_lb_matrix(tr, pdm, thetas)
-        strategy = get_grouping_strategy(config.grouping)
-        assignment = strategy.group(tr, ts, pdm, lb_matrix, config.num_reducers)
-        lb_group = group_lb_matrix(lb_matrix, assignment.groups)
-        phases["partition_grouping"] = time.perf_counter() - started
+            # -- master: theta/LB bounds and partition grouping ---------------
+            started = time.perf_counter()
+            partitioner = VoronoiPartitioner(pivots, master_metric)
+            pdm = partitioner.pivot_distance_matrix()
+            thetas = compute_thetas(tr, ts, pdm, config.k)
+            lb_matrix = compute_lb_matrix(tr, pdm, thetas)
+            strategy = get_grouping_strategy(config.grouping)
+            assignment = strategy.group(tr, ts, pdm, lb_matrix, config.num_reducers)
+            lb_group = group_lb_matrix(lb_matrix, assignment.groups)
+            phases["partition_grouping"] = time.perf_counter() - started
 
-        # -- second job: route by group, join with the Algorithm 3 kernel -----
-        dfs = DistributedFileSystem(
-            num_nodes=config.num_reducers, chunk_records=config.split_size
-        )
-        dfs.put("partitioned", job1.outputs)
-        ring_stats = {
-            pid: (ts.get(pid).lower, ts.get(pid).upper) for pid in ts.partition_ids()
-        }
-        job2_spec = MapReduceJob(
-            name="knn-join",
-            mapper_factory=GroupRoutingMapper,
-            reducer_factory=PgbjJoinReducer,
-            partitioner=ModPartitioner(),
-            num_reducers=config.num_reducers,
-            cache={
-                "partition_to_group": assignment.partition_to_group,
-                "lb_group": lb_group,
-                "metric_name": config.metric_name,
-                "k": config.k,
-                "thetas": thetas,
-                "ring_stats": ring_stats,
-                "pivots": pivots,
-                "pivot_dist_matrix": pdm,
-                "use_hyperplane_pruning": config.use_hyperplane_pruning,
-                "use_ring_pruning": config.use_ring_pruning,
-            },
-        )
-        job2 = runtime.run(job2_spec, dfs.splits("partitioned"))
+            # -- second job: route by group, join with the Algorithm 3 kernel -
+            dfs = DistributedFileSystem(
+                num_nodes=config.num_reducers, chunk_records=config.split_size
+            )
+            dfs.put("partitioned", job1.outputs)
+            ring_stats = {
+                pid: (ts.get(pid).lower, ts.get(pid).upper) for pid in ts.partition_ids()
+            }
+            job2_spec = MapReduceJob(
+                name="knn-join",
+                mapper_factory=GroupRoutingMapper,
+                reducer_factory=PgbjJoinReducer,
+                partitioner=ModPartitioner(),
+                num_reducers=config.num_reducers,
+                cache={
+                    "partition_to_group": assignment.partition_to_group,
+                    "lb_group": lb_group,
+                    "metric_name": config.metric_name,
+                    "k": config.k,
+                    "thetas": thetas,
+                    "ring_stats": ring_stats,
+                    "pivots": pivots,
+                    "pivot_dist_matrix": pdm,
+                    "use_hyperplane_pruning": config.use_hyperplane_pruning,
+                    "use_ring_pruning": config.use_ring_pruning,
+                },
+            )
+            job2 = runtime.run(job2_spec, dfs.splits("partitioned"))
 
         # -- assemble the outcome ----------------------------------------------
         result = KnnJoinResult(config.k)

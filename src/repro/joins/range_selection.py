@@ -196,7 +196,8 @@ class DistributedRangeSelection:
                 "ring_stats": ring_stats,
             },
         )
-        job = config.make_runtime().run(job_spec, split_records(records, config.split_size))
+        with config.make_runtime() as runtime:
+            job = runtime.run(job_spec, split_records(records, config.split_size))
         matches = {query_id: ids for query_id, ids in job.outputs}
         # queries with zero reachable cells never reach a reducer: fill empties
         for row in range(len(queries)):

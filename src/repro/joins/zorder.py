@@ -180,7 +180,6 @@ class ZOrderKnnJoin(KnnJoinAlgorithm):
         config = self.config
         self._check_inputs(r, s, config.k)
         rng = np.random.default_rng(config.seed)
-        runtime = config.make_runtime()
 
         # master-side preprocessing: shifts, transform, quantile boundaries
         span = np.maximum(
@@ -231,8 +230,10 @@ class ZOrderKnnJoin(KnnJoinAlgorithm):
                 "candidates_per_side": config.candidates_per_side,
             },
         )
-        job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
-        job2 = run_merge_job(job1.outputs, config, runtime)
+        # one runtime (one warm pool under the pooled engines) for both jobs
+        with config.make_runtime() as runtime:
+            job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
+            job2 = run_merge_job(job1.outputs, config, runtime)
 
         result = KnnJoinResult(config.k)
         for r_id, (ids, dists) in job2.outputs:

@@ -12,6 +12,8 @@ from .counters import Counters
 from .engines import (
     DEFAULT_ENGINE,
     Executor,
+    PersistentProcessExecutor,
+    PersistentThreadExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -60,6 +62,8 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "PersistentThreadExecutor",
+    "PersistentProcessExecutor",
     "get_executor",
     "available_engines",
     "DEFAULT_ENGINE",

@@ -21,17 +21,27 @@ Exceptions raised by ``fn`` propagate to the caller unchanged (the scheduler
 handles :class:`~repro.mapreduce.runtime.TaskFailure` retries itself by
 receiving failure *values*, never exceptions).
 
-Pools are created per batch and torn down with it: a join runs only a handful
-of phases, so pool start-up (cheap under ``fork``) is noise next to task
-work, and nothing leaks when a driver abandons a runtime mid-run.
+The per-batch backends (``threads``, ``processes``) create their pool per
+batch and tear it down with it — nothing leaks when a driver abandons a
+runtime mid-run, but every phase, retry round and job pays pool start-up
+again.  The *persistent* backends (``threads-pooled``, ``processes-pooled``)
+create the pool once, lazily, and reuse it across every batch until
+:meth:`Executor.close` — the paper's joins run pivot selection →
+partitioning → join as a sequence of jobs, so start-up amortizes across the
+whole driver run.  Persistence makes lifecycle explicit: every executor is a
+context manager with an idempotent ``close()``, and
+:class:`~repro.mapreduce.runtime.LocalRuntime` closes the executors it owns.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import pickle
+import threading
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
 from typing import Any
 
@@ -40,6 +50,8 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "PersistentThreadExecutor",
+    "PersistentProcessExecutor",
     "get_executor",
     "available_engines",
     "DEFAULT_ENGINE",
@@ -50,10 +62,22 @@ DEFAULT_ENGINE = "serial"
 
 
 class Executor(ABC):
-    """Strategy for executing one batch of independent task attempts."""
+    """Strategy for executing one batch of independent task attempts.
+
+    Executors have an explicit lifecycle: :meth:`close` releases whatever the
+    backend holds (worker pools, shipped state) and is idempotent; running a
+    batch on a closed executor raises ``RuntimeError``.  Every executor is a
+    context manager (``with get_executor("processes-pooled") as ex: ...``).
+    The per-batch backends hold nothing between batches, so their ``close``
+    only flips the flag — it exists so callers can treat all engines
+    uniformly.
+    """
 
     #: registry name, surfaced in configs, CLI flags and bench records
     name: str = "abstract"
+
+    #: set by :meth:`close`; batches are rejected afterwards
+    closed: bool = False
 
     @abstractmethod
     def run_tasks(
@@ -67,6 +91,21 @@ class Executor(ABC):
         ``shared`` is batch-constant state (the job spec): backends may ship
         it to workers once instead of once per payload.
         """
+
+    def close(self) -> None:
+        """Release backend resources; safe to call more than once."""
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(f"executor {self.name!r} is closed")
+
+    def __enter__(self) -> "Executor":
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 def _resolve_workers(max_workers: int | None) -> int:
@@ -89,6 +128,7 @@ class SerialExecutor(Executor):
             raise ValueError("max_workers must be >= 1")
 
     def run_tasks(self, fn, shared, payloads):
+        self._check_open()
         return [fn(shared, payload) for payload in payloads]
 
 
@@ -101,6 +141,7 @@ class ThreadExecutor(Executor):
         self.max_workers = _resolve_workers(max_workers)
 
     def run_tasks(self, fn, shared, payloads):
+        self._check_open()
         if len(payloads) <= 1 or self.max_workers == 1:
             return [fn(shared, payload) for payload in payloads]
         workers = min(self.max_workers, len(payloads))
@@ -138,6 +179,7 @@ class ProcessExecutor(Executor):
         self.max_workers = _resolve_workers(max_workers)
 
     def run_tasks(self, fn, shared, payloads):
+        self._check_open()
         if len(payloads) <= 1 or self.max_workers == 1:
             return [fn(shared, payload) for payload in payloads]
         workers = min(self.max_workers, len(payloads))
@@ -151,11 +193,191 @@ class ProcessExecutor(Executor):
             )
 
 
+# -- persistent (pooled) backends ----------------------------------------------
+
+
+class PersistentThreadExecutor(Executor):
+    """Thread pool created once and reused across batches, phases and jobs.
+
+    Threads share the interpreter, so nothing needs shipping — persistence
+    only saves pool start-up.  That start-up is small for threads, but the
+    pooled variant keeps the thread/process engine pair symmetric and gives
+    thread-friendly workloads the same warm-pool behavior.
+    """
+
+    name = "threads-pooled"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = _resolve_workers(max_workers)
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()  # guards lazy creation vs close
+
+    def run_tasks(self, fn, shared, payloads):
+        self._check_open()
+        if len(payloads) <= 1 or self.max_workers == 1:
+            return [fn(shared, payload) for payload in payloads]
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            pool = self._pool
+        return list(pool.map(partial(fn, shared), payloads))
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self.closed = True
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+#: worker-side generation-tagged slot for the current job's shared state:
+#: ``(generation, shared)`` — installed by the per-job priming round, reused
+#: by every task of that job the worker executes
+_POOL_SLOT: tuple[int, Any] = (0, None)
+
+#: worker-side barrier shared by the pool (installed via the pool initializer,
+#: i.e. by inheritance — sync primitives cannot travel through the task queue)
+_INSTALL_BARRIER: Any = None
+
+#: priming must not hang forever if a worker is wedged; generous upper bound
+_INSTALL_TIMEOUT_S = 120.0
+
+
+def _pooled_worker_init(barrier: Any) -> None:
+    global _INSTALL_BARRIER
+    _INSTALL_BARRIER = barrier
+
+
+def _install_shared(generation: int, blob: bytes) -> None:
+    """Priming task: one per worker per job, gated by the pool barrier.
+
+    Every worker that picks up a priming task blocks on the barrier until
+    *all* workers hold one — which is what guarantees each worker executes
+    exactly one install (a worker cannot finish its install and steal a
+    second while others are still empty-handed).
+    """
+    global _POOL_SLOT
+    _INSTALL_BARRIER.wait(timeout=_INSTALL_TIMEOUT_S)
+    _POOL_SLOT = (generation, pickle.loads(blob))
+
+
+def _pooled_call(fn: Callable[[Any, Any], Any], generation: int, payload: Any) -> Any:
+    slot_generation, shared = _POOL_SLOT
+    if slot_generation != generation:
+        raise RuntimeError(
+            f"pooled worker holds job generation {slot_generation}, "
+            f"task expects {generation}; priming round was skipped or lost"
+        )
+    return fn(shared, payload)
+
+
+class PersistentProcessExecutor(Executor):
+    """Process pool created once and reused across batches, phases and jobs.
+
+    The per-batch ``processes`` engine pays worker spawn *and* a pickled copy
+    of the job spec per worker on **every** batch.  This backend keeps the
+    pool alive and ships the spec once per worker per *job*: the parent
+    pickles the shared state a single time when a new job object arrives
+    (identity change), bumps a generation counter, and runs a barrier-gated
+    *priming round* — one install task per worker — that stores the blob in
+    a generation-tagged worker slot.  Ordinary tasks then carry only the
+    generation tag, so retry rounds and the reduce phase of the same job
+    ship nothing but payloads.
+
+    If a worker dies (OOM kill, native crash), the standard library marks
+    the whole pool broken; the executor then drops its cached pool so the
+    *next* batch builds a fresh one and re-primes — the same recovery the
+    per-batch engine gets implicitly.  The failing batch itself still
+    raises, exactly as it does under ``processes``.
+    """
+
+    name = "processes-pooled"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = _resolve_workers(max_workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._barrier: Any = None
+        self._generation = 0
+        self._installed_generation = 0  # generation primed into the live pool
+        self._shared: Any = None  # identity-tracks the currently shipped job
+        self._blob: bytes = b""
+        #: batches are atomic: generation bookkeeping, priming and the pool
+        #: itself are one shared state, so concurrent runtimes sharing this
+        #: executor (JoinConfig.shared_executor) take turns batch by batch
+        self._lock = threading.Lock()
+
+    def run_tasks(self, fn, shared, payloads):
+        self._check_open()
+        if len(payloads) <= 1 or self.max_workers == 1:
+            return [fn(shared, payload) for payload in payloads]
+        with self._lock:
+            if self._generation == 0 or shared is not self._shared:
+                self._generation += 1
+                self._shared = shared
+                self._blob = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+            try:
+                pool = self._ensure_pool()
+                self._ensure_primed(pool)
+                chunksize = max(1, len(payloads) // (self.max_workers * 4))
+                return list(
+                    pool.map(
+                        partial(_pooled_call, fn, self._generation),
+                        payloads,
+                        chunksize=chunksize,
+                    )
+                )
+            except (BrokenExecutor, threading.BrokenBarrierError):
+                # a dead worker poisons the pool, a timed-out priming round
+                # poisons the barrier — and neither self-heals: drop both so
+                # the next batch (or join sharing this executor) starts fresh
+                self._reset_pool()
+                raise
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._barrier = multiprocessing.get_context().Barrier(self.max_workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_pooled_worker_init,
+                initargs=(self._barrier,),
+            )
+            self._installed_generation = 0
+        return self._pool
+
+    def _ensure_primed(self, pool: ProcessPoolExecutor) -> None:
+        """Ship the current job's blob to every worker, exactly once each."""
+        if self._installed_generation == self._generation:
+            return
+        futures = [
+            pool.submit(_install_shared, self._generation, self._blob)
+            for _ in range(self.max_workers)
+        ]
+        for future in futures:
+            future.result()
+        self._installed_generation = self._generation
+
+    def _reset_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        self._barrier = None
+        self._installed_generation = 0
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def close(self) -> None:
+        with self._lock:
+            self._reset_pool()
+            self.closed = True
+            self._shared = None
+            self._blob = b""
+
+
 #: engine name -> executor class; later PRs (async, distributed) register here
 ENGINES: dict[str, type[Executor]] = {
     SerialExecutor.name: SerialExecutor,
     ThreadExecutor.name: ThreadExecutor,
     ProcessExecutor.name: ProcessExecutor,
+    PersistentThreadExecutor.name: PersistentThreadExecutor,
+    PersistentProcessExecutor.name: PersistentProcessExecutor,
 }
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 import zlib
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 __all__ = ["Partitioner", "HashPartitioner", "ModPartitioner"]
 
 
@@ -22,10 +24,12 @@ class Partitioner(ABC):
 
 
 def _stable_hash(key: object) -> int:
-    if isinstance(key, bool):
+    # numpy-derived keys (np.bool_, np.int64, ...) hash like their Python
+    # counterparts, so vectorized mappers can emit mask/index results directly
+    if isinstance(key, (bool, np.bool_)):
         return int(key)
-    if isinstance(key, int):
-        return key
+    if isinstance(key, (int, np.integer)):
+        return int(key)
     if isinstance(key, str):
         return zlib.crc32(key.encode("utf-8"))
     if isinstance(key, bytes):

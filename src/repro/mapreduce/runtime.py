@@ -197,9 +197,17 @@ class LocalRuntime:
     """Backend-agnostic scheduler: plans tasks, an engine executes them.
 
     ``engine`` selects an execution backend by name (``serial``, ``threads``,
-    ``processes``); ``max_workers`` sizes the parallel pools (default: CPU
-    count).  Alternatively pass a ready :class:`Executor` instance via
-    ``executor`` — the seam custom backends plug into.
+    ``processes``, or the persistent ``threads-pooled`` / ``processes-pooled``
+    variants that keep one warm pool across every job the runtime runs);
+    ``max_workers`` sizes the parallel pools (default: CPU count).
+    Alternatively pass a ready :class:`Executor` instance via ``executor`` —
+    the seam custom backends plug into, and the way several runtimes can
+    share one persistent pool.
+
+    The runtime has an explicit lifecycle: :meth:`close` tears down the
+    executor it constructed (idempotent; executors passed in via ``executor``
+    belong to the caller and are left open), and the runtime is a context
+    manager so drivers can hold a pool exactly as long as one join runs.
     """
 
     def __init__(
@@ -214,12 +222,30 @@ class LocalRuntime:
             raise ValueError("max_attempts must be >= 1")
         self.fault_injector = fault_injector
         self.max_attempts = max_attempts
+        self._owns_executor = executor is None
         self.executor = executor if executor is not None else get_executor(engine, max_workers)
 
     @property
     def engine(self) -> str:
         """Name of the execution backend in use."""
         return self.executor.name
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the executor (worker pools); safe to call more than once.
+
+        Only executors the runtime constructed itself are closed — a shared
+        executor injected by the caller stays open for its other runtimes.
+        """
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "LocalRuntime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- public API -----------------------------------------------------------
 

@@ -48,7 +48,9 @@ def estimate_bytes(obj: object) -> int:
     """
     if obj is None:
         return 1
-    if isinstance(obj, bool):
+    if isinstance(obj, (bool, np.bool_)):
+        # np.bool_ is not an int/np.integer subclass: without this it would
+        # fall through every branch and hit the TypeError below
         return 1
     if isinstance(obj, (int, np.integer)):
         return 8
@@ -87,7 +89,7 @@ def shuffle_sort_key(key: object) -> tuple:
     """
     if key is None:
         return (0, 0)
-    if isinstance(key, (bool, int, float, np.integer, np.floating)):
+    if isinstance(key, (bool, int, float, np.integer, np.floating, np.bool_)):
         return (1, key)  # mixed numerics compare exactly, no float coercion
     if isinstance(key, str):
         return (2, key)
@@ -129,11 +131,33 @@ def encode_record_block(block: RecordBlock) -> bytes:
     )
 
 
+#: bytes per row beyond the point coordinates: is_r (1) + object_ids (8) +
+#: payloads (8) + partition_ids (8) + pivot_distances (8)
+_ROW_FIXED_BYTES = 1 + 8 + 8 + 8 + 8
+
+
 def decode_record_block(data: bytes) -> RecordBlock:
-    """Inverse of :func:`encode_record_block`."""
+    """Inverse of :func:`encode_record_block`.
+
+    Validates the buffer length against the header before touching any
+    column, so a truncated or padded stream raises a clear ``ValueError``
+    instead of a cryptic ``numpy.frombuffer`` error partway through.
+    """
+    if len(data) < _BLOCK_HEADER.size:
+        raise ValueError(
+            f"truncated RecordBlock stream: {len(data)} bytes is shorter "
+            f"than the {_BLOCK_HEADER.size}-byte header"
+        )
     magic, rows, dims = _BLOCK_HEADER.unpack_from(data)
     if magic != _BLOCK_MAGIC:
         raise ValueError("not a RecordBlock byte stream")
+    expected = _BLOCK_HEADER.size + rows * (_ROW_FIXED_BYTES + 8 * dims)
+    if len(data) != expected:
+        kind = "truncated" if len(data) < expected else "oversized"
+        raise ValueError(
+            f"{kind} RecordBlock stream: header declares {rows} rows x "
+            f"{dims} dims ({expected} bytes), got {len(data)} bytes"
+        )
     offset = _BLOCK_HEADER.size
 
     def column(dtype, count, shape=None):

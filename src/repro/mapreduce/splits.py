@@ -46,6 +46,12 @@ def weighted_record_chunks(
     straddling a boundary is sliced so every chunk boundary lands exactly
     where the per-record path put it — chunk layout (and therefore task
     counts and the cluster timing model) is independent of the encoding.
+
+    A trailing chunk holding only zero-row blocks carries no logical records
+    and is dropped: it would otherwise become a split with 0 records,
+    inflating task counts and the cluster timing model for free.  Zero-row
+    blocks that precede real records still ride along in those records'
+    chunks.
     """
     if size < 1:
         raise ValueError("chunk size must be >= 1")
@@ -74,7 +80,8 @@ def weighted_record_chunks(
         if room == 0:
             yield chunk
             chunk, room = [], size
-    if chunk:
+    # room < size iff at least one logical record landed in this chunk
+    if chunk and room < size:
         yield chunk
 
 

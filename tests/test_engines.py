@@ -22,6 +22,8 @@ from repro.mapreduce import (
     LocalRuntime,
     Mapper,
     MapReduceJob,
+    PersistentProcessExecutor,
+    PersistentThreadExecutor,
     Reducer,
     TaskFailure,
     available_engines,
@@ -30,7 +32,11 @@ from repro.mapreduce import (
     split_records,
 )
 
-ENGINES = ("serial", "threads", "processes")
+ENGINES = ("serial", "threads", "processes", "threads-pooled", "processes-pooled")
+#: the backends that actually parallelize (everything but serial)
+PARALLEL_ENGINES = tuple(e for e in ENGINES if e != "serial")
+#: the persistent backends, which keep one pool across batches and jobs
+POOLED_ENGINES = ("threads-pooled", "processes-pooled")
 
 
 class VectorNormMapper(Mapper):
@@ -168,7 +174,22 @@ class TestCrossEngineJob:
 
 
 class TestCrossEngineRetries:
-    """Fault injection is scheduler-side, so it works under every engine."""
+    """Fault injection is scheduler-side, so it works under every engine.
+
+    Retried attempts re-enter the next engine batch, so under the pooled
+    backends the retry rounds reuse the same warm pool (and, for
+    ``processes-pooled``, the already-shipped job spec).  Outputs, counters,
+    shuffle accounting and per-task attempt counts must match serial
+    regardless.
+    """
+
+    @pytest.fixture(scope="class")
+    def serial_reference(self):
+        def injector(kind, task_id, attempt):
+            return kind == "map" and attempt == 1
+
+        runtime = LocalRuntime(fault_injector=injector)
+        return job_fingerprint(runtime.run(norm_job(), norm_splits()))
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_injected_failures_retried(self, engine):
@@ -183,6 +204,40 @@ class TestCrossEngineRetries:
         assert result.outputs == plain.outputs
         assert result.counters.as_dict() == plain.counters.as_dict()
         assert all(t.attempts == 2 for t in result.stats.map_tasks)
+        runtime.close()
+
+    @pytest.mark.parametrize("engine", PARALLEL_ENGINES)
+    def test_retry_fingerprint_matches_serial(self, engine, serial_reference):
+        """Full fingerprint (accounting included) under injected faults."""
+
+        def injector(kind, task_id, attempt):
+            return kind == "map" and attempt == 1
+
+        with LocalRuntime(
+            fault_injector=injector, engine=engine, max_workers=2
+        ) as runtime:
+            result = runtime.run(norm_job(), norm_splits())
+        assert job_fingerprint(result) == serial_reference
+        assert [t.attempts for t in result.stats.map_tasks] == [2] * len(
+            result.stats.map_tasks
+        )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_reduce_side_faults_retried(self, engine):
+        """Reduce-phase injection: later rounds also reuse the pooled state."""
+
+        def injector(kind, task_id, attempt):
+            return kind == "reduce" and attempt < 3
+
+        plain = LocalRuntime().run(norm_job(), norm_splits())
+        with LocalRuntime(
+            fault_injector=injector, engine=engine, max_workers=2, max_attempts=4
+        ) as runtime:
+            result = runtime.run(norm_job(), norm_splits())
+        assert result.outputs == plain.outputs
+        assert result.stats.shuffle_bytes == plain.stats.shuffle_bytes
+        busy = [t for t in result.stats.reduce_tasks if t.input_records]
+        assert busy and all(t.attempts == 3 for t in busy)
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_permanent_failure_raises(self, engine):
@@ -192,6 +247,7 @@ class TestCrossEngineRetries:
         )
         with pytest.raises(TaskFailure, match="after 2 attempts"):
             runtime.run(norm_job(), norm_splits())
+        runtime.close()
 
 
 class TestCrossEngineJoins:
@@ -215,7 +271,7 @@ class TestCrossEngineJoins:
         )
         return ZOrderKnnJoin(config).run(data, data)
 
-    @pytest.mark.parametrize("engine", ("threads", "processes"))
+    @pytest.mark.parametrize("engine", PARALLEL_ENGINES)
     def test_pgbj_equivalence(self, data, engine):
         serial = self.pgbj_outcome(data, "serial")
         parallel = self.pgbj_outcome(data, engine)
@@ -224,11 +280,207 @@ class TestCrossEngineJoins:
             s.shuffle_bytes for s in serial.job_stats
         ]
 
-    @pytest.mark.parametrize("engine", ("threads", "processes"))
+    @pytest.mark.parametrize("engine", PARALLEL_ENGINES)
     def test_zorder_equivalence(self, data, engine):
         serial = self.zorder_outcome(data, "serial")
         parallel = self.zorder_outcome(data, engine)
         assert outcome_fingerprint(parallel) == outcome_fingerprint(serial)
+
+    @pytest.mark.parametrize("engine", POOLED_ENGINES)
+    def test_pgbj_with_faults_pooled(self, data, engine):
+        """Whole join under injected faults on a persistent pool."""
+
+        def injector(kind, task_id, attempt):
+            # first attempt of every map task of the knn-join job fails
+            return kind == "map" and "knn-join" in task_id and attempt == 1
+
+        serial = self.pgbj_outcome(data, "serial")
+        config = PgbjConfig(
+            k=3, num_reducers=4, num_pivots=12, split_size=64,
+            engine=engine, max_workers=2,
+        )
+        algorithm = PGBJ(config)
+        original = config.make_runtime
+
+        def faulty_runtime(**kwargs):
+            kwargs.setdefault("fault_injector", injector)
+            return original(**kwargs)
+
+        config.make_runtime = faulty_runtime  # type: ignore[method-assign]
+        outcome = algorithm.run(data, data)
+        assert outcome_fingerprint(outcome) == outcome_fingerprint(serial)
+
+
+class TestPooledLifecycle:
+    """Persistent executors: one pool across batches and jobs, explicit close."""
+
+    @pytest.mark.parametrize("cls", (PersistentThreadExecutor, PersistentProcessExecutor))
+    def test_pool_object_reused_across_batches(self, cls):
+        with cls(max_workers=2) as executor:
+            shared = {"bias": 1}
+            assert executor.run_tasks(_double, shared, [1, 2, 3]) == [3, 5, 7]
+            pool_after_first = executor._pool
+            assert executor.run_tasks(_double, shared, [4, 5, 6]) == [9, 11, 13]
+            assert executor._pool is pool_after_first
+
+    def test_process_pool_ships_spec_once_per_job(self):
+        with PersistentProcessExecutor(max_workers=2) as executor:
+            job_a = {"bias": 10}
+            executor.run_tasks(_double, job_a, [1, 2])
+            generation = executor._generation
+            assert executor._installed_generation == generation
+            # same job object again (another phase / retry round): no reship
+            executor.run_tasks(_double, job_a, [3, 4])
+            assert executor._generation == generation
+            # a new job object bumps the generation (one priming round) once
+            job_b = {"bias": 20}
+            assert executor.run_tasks(_double, job_b, [1, 2]) == [22, 24]
+            assert executor._generation == generation + 1
+            assert executor._installed_generation == generation + 1
+
+    def test_serial_fallback_then_parallel_batch_primes(self):
+        # a <=1-payload batch runs inline without a pool; the first parallel
+        # batch of the same job must still prime the (new) pool's workers
+        with PersistentProcessExecutor(max_workers=2) as executor:
+            job = {"bias": 3}
+            assert executor.run_tasks(_double, job, [1]) == [5]
+            assert executor._pool is None  # inline path, nothing spawned
+            assert executor.run_tasks(_double, job, [1, 2, 3]) == [5, 7, 9]
+
+    def test_concurrent_shared_use_is_serialized(self):
+        # two runtimes sharing one pool from different threads: batches are
+        # atomic (generation bookkeeping + priming + map under one lock), so
+        # neither job can execute against the other's installed spec
+        import threading
+
+        with PersistentProcessExecutor(max_workers=2) as executor:
+            results: dict[int, list] = {}
+
+            def run(bias: int) -> None:
+                job = {"bias": bias}
+                out = []
+                for _ in range(3):  # interleave generations across threads
+                    out = executor.run_tasks(_double, job, [1, 2, 3])
+                results[bias] = out
+
+            workers = [threading.Thread(target=run, args=(bias,)) for bias in (0, 100)]
+            for thread in workers:
+                thread.start()
+            for thread in workers:
+                thread.join()
+        assert results[0] == [2, 4, 6]
+        assert results[100] == [102, 104, 106]
+
+    def test_broken_pool_recovers_on_next_batch(self):
+        # a dead worker poisons the pool for its batch, but must not poison
+        # the executor: the next batch gets a fresh, re-primed pool
+        from concurrent.futures import BrokenExecutor
+
+        with PersistentProcessExecutor(max_workers=2) as executor:
+            job = {"bias": 1}
+            assert executor.run_tasks(_double, job, [1, 2, 3]) == [3, 5, 7]
+            with pytest.raises(BrokenExecutor):
+                executor.run_tasks(_kill_worker, job, [1, 2, 3, 4])
+            assert executor._pool is None  # broken pool dropped eagerly
+            # same job object: identity unchanged, but the fresh pool is
+            # re-primed because the installed generation was reset
+            assert executor.run_tasks(_double, job, [4, 5]) == [9, 11]
+
+    @pytest.mark.parametrize("engine", POOLED_ENGINES)
+    def test_close_idempotent_and_rejects_reuse(self, engine):
+        executor = get_executor(engine, max_workers=2)
+        executor.run_tasks(_double, {"bias": 0}, [1, 2])
+        executor.close()
+        executor.close()
+        assert executor.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.run_tasks(_double, {"bias": 0}, [1, 2])
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_close_before_first_batch(self, engine):
+        # lazy pools: closing an executor that never ran anything is fine
+        executor = get_executor(engine, max_workers=2)
+        executor.close()
+        assert executor.closed
+
+    @pytest.mark.parametrize("engine", POOLED_ENGINES)
+    def test_runtime_closes_owned_executor(self, engine):
+        with LocalRuntime(engine=engine, max_workers=2) as runtime:
+            runtime.run(norm_job(), norm_splits())
+        assert runtime.executor.closed
+        runtime.close()  # idempotent through the runtime too
+
+    def test_runtime_leaves_injected_executor_open(self):
+        executor = PersistentThreadExecutor(max_workers=2)
+        reference = job_fingerprint(LocalRuntime().run(norm_job(), norm_splits()))
+        for _ in range(2):  # two runtimes sharing one warm pool
+            with LocalRuntime(executor=executor) as runtime:
+                result = runtime.run(norm_job(), norm_splits())
+            assert job_fingerprint(result) == reference
+            assert not executor.closed
+        executor.close()
+
+    def test_shared_executor_across_driver_runs(self):
+        """A multi-join pipeline reuses one pool via JoinConfig.shared_executor."""
+        data = generate_forest(120, seed=5)
+        serial = PGBJ(
+            PgbjConfig(k=3, num_reducers=4, num_pivots=8, split_size=64)
+        ).run(data, data)
+        with PersistentProcessExecutor(max_workers=2) as executor:
+            for _ in range(2):
+                config = PgbjConfig(
+                    k=3, num_reducers=4, num_pivots=8, split_size=64,
+                    engine="processes-pooled", max_workers=2,
+                    shared_executor=executor,
+                )
+                outcome = PGBJ(config).run(data, data)
+                assert outcome_fingerprint(outcome) == outcome_fingerprint(serial)
+                assert not executor.closed  # drivers must not close shared pools
+
+
+def _double(shared, payload):
+    """Module-level task fn: picklable by the process backends."""
+    return payload * 2 + shared["bias"]
+
+
+def _kill_worker(shared, payload):
+    """Simulates a hard worker death (OOM kill / native crash)."""
+    import os
+
+    os._exit(13)
+
+
+class TestNumpyDerivedKeys:
+    """Regression: np.bool_ keys/values crashed shuffle accounting/grouping."""
+
+    def test_numpy_bool_sort_key_is_numeric(self):
+        ordered = sorted([np.True_, 2, np.False_, 1.5, "z"], key=shuffle_sort_key)
+        assert ordered[:4] == [np.False_, np.True_, 1.5, 2]
+        assert ordered[-1] == "z"
+
+    @pytest.mark.parametrize("engine", ("serial", "processes-pooled"))
+    def test_numpy_bool_keys_end_to_end(self, engine):
+        splits = split_records([(i, i) for i in range(8)], 2)
+        job = MapReduceJob(
+            name="npbool",
+            mapper_factory=NumpyBoolKeyMapper,
+            reducer_factory=CountReducer,
+            partitioner=HashPartitioner(),
+            num_reducers=2,
+        )
+        with LocalRuntime(engine=engine, max_workers=2) as runtime:
+            result = runtime.run(job, splits)
+        as_dict = {bool(k): v for k, v in result.outputs}
+        assert as_dict == {False: 4, True: 4}
+        assert result.stats.shuffle_bytes == 16  # 1 byte key + 1 byte value each
+
+
+class NumpyBoolKeyMapper(Mapper):
+    """Emits numpy-derived bool keys and values, as masked kernels do."""
+
+    def map(self, key, value, ctx: Context):
+        parity = np.asarray([value]) % 2 == 0
+        yield parity[0], np.True_  # np.bool_ key AND value
 
 
 class TestMixedTypeShuffleKeys:

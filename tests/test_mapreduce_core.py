@@ -38,6 +38,12 @@ class TestEstimateBytes:
         assert estimate_bytes(np.int64(5)) == 8
         assert estimate_bytes(np.float32(1.0)) == 8
 
+    def test_numpy_bool_like_python_bool(self):
+        # regression: np.bool_ fell through every branch into the TypeError
+        assert estimate_bytes(np.True_) == estimate_bytes(True) == 1
+        assert estimate_bytes(np.False_) == 1
+        assert estimate_bytes([np.bool_(True), np.bool_(False)]) == 4 + 2
+
     def test_containers(self):
         assert estimate_bytes((1, 2.0)) == 4 + 16
         assert estimate_bytes([1, 2, 3]) == 4 + 24

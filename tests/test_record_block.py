@@ -104,6 +104,22 @@ class TestWireFormat:
         with pytest.raises(ValueError, match="RecordBlock"):
             decode_record_block(b"JUNK" + b"\x00" * 16)
 
+    def test_truncated_stream_rejected(self):
+        # regression: used to surface as a cryptic numpy frombuffer error
+        encoded = encode_record_block(RecordBlock.from_records(sample_records(7)))
+        for cut in (len(encoded) - 1, len(encoded) // 2, 13):
+            with pytest.raises(ValueError, match="truncated RecordBlock"):
+                decode_record_block(encoded[:cut])
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError, match="shorter than the .*header"):
+            decode_record_block(b"RBLK\x01")
+
+    def test_oversized_stream_rejected(self):
+        encoded = encode_record_block(RecordBlock.from_records(sample_records(3)))
+        with pytest.raises(ValueError, match="oversized RecordBlock"):
+            decode_record_block(encoded + b"\x00" * 8)
+
 
 class TestAccountingInvisibility:
     def test_record_count(self):
@@ -152,6 +168,35 @@ class TestWeightedChunking:
         records = [(i, i) for i in range(10)]
         splits = split_records(records, 4)
         assert [len(s.records) for s in splits] == [4, 4, 2]
+
+    def test_trailing_zero_row_blocks_dropped(self):
+        # regression: a trailing chunk of only zero-row blocks became a
+        # split with 0 logical records, inflating task counts
+        from repro.mapreduce import weighted_record_chunks
+
+        empty = RecordBlock.gather([])
+        records = sample_records(8)
+        stream = [(0, RecordBlock.from_records(records)), (0, empty), (1, empty)]
+        chunks = list(weighted_record_chunks(stream, 4))
+        assert [sum(record_count(v) for _, v in c) for c in chunks] == [4, 4]
+        splits = split_records(stream, 4)
+        assert all(
+            sum(record_count(v) for _, v in split.records) > 0 for split in splits
+        )
+
+    def test_all_zero_row_blocks_yield_nothing(self):
+        from repro.mapreduce import weighted_record_chunks
+
+        empty = RecordBlock.gather([])
+        assert list(weighted_record_chunks([(0, empty), (1, empty)], 4)) == []
+
+    def test_zero_row_blocks_before_records_ride_along(self):
+        from repro.mapreduce import weighted_record_chunks
+
+        empty = RecordBlock.gather([])
+        stream = [(0, empty), (0, RecordBlock.from_records(sample_records(3)))]
+        chunks = list(weighted_record_chunks(stream, 4))
+        assert len(chunks) == 1 and len(chunks[0]) == 2
 
     def test_dfs_record_count_weighs_blocks(self):
         from repro.mapreduce import DistributedFileSystem
