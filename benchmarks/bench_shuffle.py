@@ -1,0 +1,197 @@
+"""Shuffle-backend benches: in-memory vs disk-spill vs manifest workers.
+
+Two questions, one record (``results/BENCH_shuffle.json``):
+
+* **What does out-of-core cost?**  The same PGBJ join runs on the in-memory
+  shuffle (the oracle), on the spill backend with an unbounded buffer (one
+  sorted run per map task — the manifest path without artificial
+  fragmentation), and on the spill backend with a tight ``memory_budget``
+  (forced multi-run spills + wide external merges).  Results, counters and
+  shuffle accounting are asserted identical throughout; what moves is
+  wall-clock and the new spill counters (segments, on-disk bytes, merge
+  passes).
+* **What do manifest-returning workers buy the process engines?**  Under
+  ``processes`` the in-memory backend pickles every map task's full output
+  back to the parent and every reducer's materialized groups out to a
+  worker; the spill backend ships segment *manifests* and paths instead —
+  the shuffled data never crosses the process boundary.  The record carries
+  ``manifest_speedup`` = wall(processes, memory) / wall(processes, spill).
+
+Run standalone (the CI perf-smoke step does this at tiny sizes)::
+
+    PYTHONPATH=src python benchmarks/bench_shuffle.py            # full record
+    PYTHONPATH=src python benchmarks/bench_shuffle.py --smoke    # CI-friendly
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import ExperimentResult, bench_workers
+from repro.bench.harness import DEFAULTS, forest_workload, run_pgbj
+from repro.metrics import format_table
+
+#: (label, engine, memory_budget mode) — ``"off"`` = in-memory backend,
+#: ``"wide"`` = spill with an effectively unbounded buffer (one sorted run
+#: per map task: the pure manifest path), ``"tight"`` = forced multi-run
+#: spills (the parser-visible out-of-core stress mode)
+SCENARIOS = (
+    ("serial-memory", "serial", "off"),
+    ("serial-spill", "serial", "wide"),
+    ("serial-spill-tight", "serial", "tight"),
+    ("processes-memory", "processes", "off"),
+    ("processes-spill", "processes", "wide"),
+)
+
+#: a budget no map task ever reaches: one run per reducer per task
+_WIDE_BUDGET = 1 << 40
+
+
+def _outcome_fingerprint(outcome):
+    return {
+        "pairs": sorted(outcome.result.pairs()),
+        "counters": outcome.counters.as_dict(),
+        "shuffle_records": outcome.shuffle_records(),
+        "shuffle_bytes": outcome.shuffle_bytes(),
+    }
+
+
+def shuffle_experiment(
+    seed: int = 0, times: int | None = None, tight_budget: int = 1 << 14
+) -> ExperimentResult:
+    """The ``BENCH_shuffle`` record: one PGBJ join per shuffle scenario.
+
+    The default workload is deliberately larger than the exhibit benches
+    (the manifest win scales with how much map output would otherwise make
+    the pickle round-trip), while the smoke mode shrinks it to CI size.
+    """
+    if times is None:
+        times = 8 * DEFAULTS["forest_times"]
+    data = forest_workload(times=times, seed=seed)
+    workers = bench_workers() or 2
+    workload = dict(
+        k=DEFAULTS["k"], num_reducers=DEFAULTS["num_reducers"],
+        num_pivots=max(32, 8 * len(data) // 2048), split_size=DEFAULTS["split_size"],
+        seed=seed,
+    )
+
+    raw: dict[str, dict[str, float]] = {}
+    rows = []
+    reference = None
+    for label, engine, budget_mode in SCENARIOS:
+        overrides = dict(workload, engine=engine, max_workers=workers)
+        if budget_mode == "off":
+            # pin the oracle scenarios to the in-memory backend even when the
+            # environment exports REPRO_MEMORY_BUDGET (the CI spill leg does):
+            # an explicit None overrides the harness's env-derived default
+            overrides["memory_budget"] = None
+        else:
+            overrides["memory_budget"] = (
+                tight_budget if budget_mode == "tight" else _WIDE_BUDGET
+            )
+        started = time.perf_counter()
+        outcome = run_pgbj(data, data, **overrides)
+        wall = time.perf_counter() - started
+        if reference is None:
+            reference = outcome
+        else:
+            assert _outcome_fingerprint(outcome) == _outcome_fingerprint(
+                reference
+            ), label
+        raw[label] = {
+            "wall_seconds": wall,
+            "shuffle_mb": outcome.shuffle_bytes() / 1e6,
+            "spill_segments": outcome.spill_segments(),
+            "spill_mb": outcome.spill_bytes() / 1e6,
+            "merge_passes": outcome.merge_passes(),
+        }
+        rows.append(
+            [
+                label,
+                round(wall, 3),
+                outcome.spill_segments(),
+                round(outcome.spill_bytes() / 1e6, 3),
+                outcome.merge_passes(),
+            ]
+        )
+    raw["manifest_speedup"] = (
+        raw["processes-memory"]["wall_seconds"]
+        / raw["processes-spill"]["wall_seconds"]
+    )
+    raw["spill_overhead_vs_memory"] = (
+        raw["serial-spill"]["wall_seconds"] / raw["serial-memory"]["wall_seconds"]
+    )
+    text = format_table(
+        ["scenario", "wall seconds", "spill segments", "spill MB", "merge passes"],
+        rows,
+        title=(
+            "Shuffle backends: one PGBJ join, identical results; "
+            f"manifest speedup on processes = {raw['manifest_speedup']:.2f}x"
+        ),
+    )
+    return ExperimentResult(
+        exhibit="BENCH_shuffle",
+        title="Out-of-core shuffle: in-memory vs spill vs manifest workers",
+        text=text,
+        data=raw,
+        engine="+".join(sorted({engine for _, engine, _ in SCENARIOS})),
+        params={
+            "objects": len(data),
+            "workers": workers,
+            "tight_budget": tight_budget,
+            **workload,
+        },
+    )
+
+
+def test_bench_shuffle(benchmark, exhibit_runner):
+    result = exhibit_runner(shuffle_experiment)
+    assert set(result.data) >= {label for label, _, _ in SCENARIOS}
+    # identical-results contract held in-sweep; in-memory scenarios spill-free
+    assert result.data["serial-memory"]["spill_segments"] == 0
+    assert result.data["serial-spill"]["spill_segments"] > 0
+    assert result.data["serial-spill-tight"]["spill_segments"] >= (
+        result.data["serial-spill"]["spill_segments"]
+    )
+    # spill counters are engine-independent
+    assert (
+        result.data["processes-spill"]["spill_segments"]
+        == result.data["serial-spill"]["spill_segments"]
+    )
+    # the ratio is recorded (no wall-clock gate: CI boxes are too noisy)
+    assert result.data["manifest_speedup"] > 0
+
+
+# -- standalone runner (CI perf smoke + committed baseline) --------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sweep asserting the spill identical-results contract",
+    )
+    parser.add_argument("--results-dir", default="results")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        record = shuffle_experiment(times=2, tight_budget=1 << 10)
+        print("shuffle ok: identical results across",
+              ", ".join(label for label, _, _ in SCENARIOS))
+        print(f"forced spill wrote {record.data['serial-spill-tight']['spill_segments']}"
+              f" segments over {record.data['serial-spill-tight']['merge_passes']} merges")
+        print(f"manifest speedup on processes: {record.data['manifest_speedup']:.2f}x")
+        return 0
+
+    record = shuffle_experiment()
+    path = record.save(args.results_dir)
+    print(record.show())
+    print(f"saved {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ __all__ = [
     "bench_scale",
     "bench_engine",
     "bench_workers",
+    "bench_memory_budget",
     "scaled_pivots",
     "pivot_sweep",
     "forest_workload",
@@ -105,6 +106,26 @@ def bench_workers() -> int | None:
     return workers
 
 
+def bench_memory_budget() -> int | None:
+    """Spill budget for bench runs (``REPRO_MEMORY_BUDGET``, default in-RAM).
+
+    Setting it switches every bench join to the out-of-core spill shuffle
+    with that per-map-task buffer (bytes).  The CI spill-equivalence leg sets
+    a tiny value so every job of every exhibit is forced through segment
+    files and the external merge — results and accounting must not move.
+    """
+    raw = os.environ.get("REPRO_MEMORY_BUDGET", "")
+    if not raw:
+        return None
+    try:
+        budget = int(raw)
+    except ValueError:
+        raise ValueError("REPRO_MEMORY_BUDGET must be an integer") from None
+    if budget < 0:
+        raise ValueError("REPRO_MEMORY_BUDGET must be >= 0")
+    return budget
+
+
 def scaled(value: int, minimum: int = 8) -> int:
     """Apply the global scale to an object count."""
     return max(minimum, int(value * bench_scale()))
@@ -142,8 +163,12 @@ def default_cluster(num_nodes: int | None = None) -> Cluster:
 
 
 def _engine_params() -> dict[str, Any]:
-    """Engine settings every bench runner inherits (env-overridable)."""
-    return {"engine": bench_engine(), "max_workers": bench_workers()}
+    """Engine/shuffle settings every bench runner inherits (env-overridable)."""
+    params: dict[str, Any] = {"engine": bench_engine(), "max_workers": bench_workers()}
+    budget = bench_memory_budget()
+    if budget is not None:
+        params["memory_budget"] = budget
+    return params
 
 
 def run_pgbj(r: Dataset, s: Dataset, **overrides) -> JoinOutcome:

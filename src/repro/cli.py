@@ -105,6 +105,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker count for parallel engines (default: CPU count)",
     )
+    join.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "enable the out-of-core spill shuffle: each map task buffers at "
+            "most this many (estimated) bytes of output before writing a "
+            "sorted segment run to disk; reducers stream a k-way external "
+            "merge.  Results and accounting are identical to the in-memory "
+            "default"
+        ),
+    )
+    join.add_argument(
+        "--spill-dir",
+        default=None,
+        help="directory for shuffle segment files (default: system temp)",
+    )
 
     bench = sub.add_parser("bench", help="reproduce one exhibit (or `all`)")
     bench.add_argument("exhibit", choices=list(EXHIBITS) + ["all"])
@@ -137,6 +155,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         max_workers=args.workers,
+        memory_budget=args.memory_budget,
+        spill_dir=args.spill_dir,
     )
     if args.algorithm == "pgbj":
         algorithm = PGBJ(
@@ -172,6 +192,10 @@ def _cmd_join(args: argparse.Namespace) -> int:
           f"({outcome.shuffle_records()} records)")
     if outcome.replication_of_s():
         print(f"avg replication of S : {outcome.avg_replication_of_s():.2f}")
+    if outcome.spill_segments():
+        print(f"spill activity       : {outcome.spill_segments()} segments, "
+              f"{outcome.spill_bytes() / 1e6:.3f} MB on disk, "
+              f"{outcome.merge_passes()} merge passes")
     return 0
 
 

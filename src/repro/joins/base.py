@@ -10,6 +10,7 @@ computation selectivity (Equation 13) and shuffling cost.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -20,6 +21,7 @@ from repro.core.result import KnnJoinResult
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engines import DEFAULT_ENGINE, Executor, available_engines
+from repro.mapreduce.hdfs import DistributedFileSystem
 from repro.mapreduce.runtime import LocalRuntime
 from repro.mapreduce.stats import JobStats
 
@@ -46,6 +48,16 @@ class JoinConfig:
     ``max_workers`` sizes the parallel pools.  All engines produce
     bit-identical results — they differ only in wall-clock.
 
+    ``memory_budget`` switches every MapReduce job of the join to the
+    out-of-core ``spill`` shuffle backend: each map task buffers at most that
+    many (estimated) bytes of output before writing a sorted segment run to
+    disk, and reducers stream a k-way external merge instead of materialized
+    groups.  ``spill_dir`` hosts the segment files (default: system temp);
+    job-chaining intermediates written to the modelled DFS (via
+    :meth:`make_dfs`) spill to the same place.  Results, ``pairs_computed``
+    and shuffle records/bytes are bit-identical to the in-memory default —
+    only where the data lives changes.
+
     ``shared_executor`` (optional, not part of the value of the config)
     injects a ready :class:`~repro.mapreduce.engines.Executor` every runtime
     this config makes will reuse — the way a multi-join pipeline keeps one
@@ -60,6 +72,8 @@ class JoinConfig:
     split_size: int = 4096
     engine: str = DEFAULT_ENGINE
     max_workers: int | None = None
+    memory_budget: int | None = None
+    spill_dir: str | None = None
     shared_executor: Executor | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -76,6 +90,13 @@ class JoinConfig:
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if self.memory_budget is not None and self.memory_budget < 0:
+            raise ValueError("memory_budget must be >= 0 (or None for in-memory)")
+
+    @property
+    def out_of_core(self) -> bool:
+        """Whether the join runs its shuffle (and DFS chunks) on disk."""
+        return self.memory_budget is not None or self.spill_dir is not None
 
     def with_changes(self, **kwargs) -> "JoinConfig":
         """A copy with some fields replaced (sweep helper)."""
@@ -94,9 +115,44 @@ class JoinConfig:
         """
         if self.shared_executor is not None:
             runtime_kwargs.setdefault("executor", self.shared_executor)
+        if self.out_of_core:
+            runtime_kwargs.setdefault("shuffle", "spill")
+            runtime_kwargs.setdefault("memory_budget", self.memory_budget)
+            runtime_kwargs.setdefault("spill_dir", self.spill_dir)
         return LocalRuntime(
             engine=self.engine, max_workers=self.max_workers, **runtime_kwargs
         )
+
+    def make_dfs(
+        self, num_nodes: int | None = None, chunk_records: int | None = None
+    ) -> DistributedFileSystem:
+        """A DFS for job-chaining intermediates, matching the shuffle mode.
+
+        In-memory configs get the historical in-RAM chunk store; out-of-core
+        configs (``memory_budget``/``spill_dir`` set) get segment-backed
+        chunks under the same spill location, so intermediates between
+        chained jobs leave RAM together with the shuffle.  Drivers run the
+        returned DFS as a context manager so segment files live exactly as
+        long as the join.
+        """
+        return DistributedFileSystem(
+            num_nodes=num_nodes if num_nodes is not None else self.num_reducers,
+            chunk_records=chunk_records if chunk_records is not None else self.split_size,
+            segment_backed=self.out_of_core,
+            segment_dir=self.spill_dir,
+        )
+
+    def make_chain_dfs(self):
+        """Context manager for staging job-chaining intermediates.
+
+        Yields a segment-backed :class:`DistributedFileSystem` for
+        out-of-core configs — drivers hand it to
+        :func:`~repro.joins.block_framework.chain_splits` so intermediates
+        between chained jobs live in segment files — or ``None`` for
+        in-memory configs, where intermediates chain in RAM exactly as they
+        always have.
+        """
+        return self.make_dfs() if self.out_of_core else nullcontext()
 
 
 @dataclass
@@ -181,6 +237,20 @@ class JoinOutcome:
     def replication_of_s(self) -> int:
         """How many S-object records entered the shuffle (``RP(S)``)."""
         return self.counters.value(REPLICA_GROUP, REPLICA_NAME)
+
+    # -- out-of-core bookkeeping (zero under the in-memory shuffle) -------------
+
+    def spill_segments(self) -> int:
+        """Sorted segment runs written to disk across all jobs."""
+        return sum(stats.spill_segments for stats in self.job_stats)
+
+    def spill_bytes(self) -> int:
+        """Actual segment-file bytes written across all jobs."""
+        return sum(stats.spill_bytes for stats in self.job_stats)
+
+    def merge_passes(self) -> int:
+        """K-way external merges the reduce phases performed across all jobs."""
+        return sum(stats.merge_passes for stats in self.job_stats)
 
     def avg_replication_of_s(self) -> float:
         """``alpha``: average replicas per S object (paper Figure 7b)."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.knn import KBestList
+from repro.mapreduce.hdfs import DistributedFileSystem
 from repro.mapreduce.job import BlockBufferingMapper, Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import HashPartitioner, ModPartitioner
 from repro.mapreduce.runtime import JobResult, LocalRuntime
@@ -27,6 +28,7 @@ __all__ = [
     "BlockRoutingMapper",
     "CandidateMergeMapper",
     "CandidateMergeReducer",
+    "chain_splits",
     "run_merge_job",
 ]
 
@@ -115,14 +117,41 @@ class CandidateMergeReducer(Reducer):
         yield key, (ids, dists)
 
 
+def chain_splits(
+    config: JoinConfig,
+    dfs: DistributedFileSystem | None,
+    name: str,
+    records: list,
+) -> list:
+    """Input splits for a chained job's intermediate records.
+
+    The seam every driver routes job-chaining intermediates through: with a
+    DFS (out-of-core configs hand one in, segment-backed) the records are
+    written as a DFS file and read back as lazy splits — the intermediate
+    leaves RAM and map workers decode their own chunks from disk.  Without
+    one, the records are sliced in place, the historical path.  Chunk
+    boundaries are identical either way, so task layout and all accounting
+    are unaffected by where the intermediate lives.
+    """
+    if dfs is None:
+        return split_records(records, config.split_size)
+    dfs.put(name, records)
+    return dfs.splits(name)
+
+
 def run_merge_job(
-    candidates: list, config: JoinConfig, runtime: LocalRuntime
+    candidates: list,
+    config: JoinConfig,
+    runtime: LocalRuntime,
+    dfs: DistributedFileSystem | None = None,
 ) -> JobResult:
     """Second job of the block framework: merge partial candidate lists.
 
     ``candidates`` is the first job's output — ``(r_id, (ids, dists))`` pairs
     — whose records make up this job's (counted) shuffle traffic, matching
-    the ``sum |R_i knn-join S_j|`` term of the paper's cost analysis.
+    the ``sum |R_i knn-join S_j|`` term of the paper's cost analysis.  With a
+    ``dfs`` the candidate lists are staged there (out-of-core drivers pass a
+    segment-backed one) instead of being sliced in RAM.
     """
     job = MapReduceJob(
         name="merge-candidates",
@@ -132,7 +161,7 @@ def run_merge_job(
         num_reducers=config.num_reducers,
         cache={"k": config.k},
     )
-    return runtime.run(job, split_records(candidates, config.split_size))
+    return runtime.run(job, chain_splits(config, dfs, "merge-input", candidates))
 
 
 def block_join_spec(

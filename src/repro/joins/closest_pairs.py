@@ -26,10 +26,8 @@ from repro.core.distance import get_metric
 from repro.core.partition import VoronoiPartitioner
 from repro.mapreduce.job import Context, MapReduceJob, Mapper, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
-from repro.mapreduce.splits import split_records
-
 from .base import PAIRS_GROUP, PAIRS_NAME, BlockJoinConfig
-from .block_framework import block_join_spec
+from .block_framework import block_join_spec, chain_splits
 from .kernels import (
     build_partition_blocks,
     knn_join_kernel,
@@ -139,7 +137,7 @@ class TopKClosestPairs:
             r, min(config.num_pivots, len(r)), master_metric, rng
         )
         # one runtime (one warm pool under pooled engines) for all three jobs
-        with config.make_runtime() as runtime:
+        with config.make_runtime() as runtime, config.make_chain_dfs() as dfs:
             job1 = run_partitioning_job(r, s, pivots, config, runtime)
             pdm = VoronoiPartitioner(pivots, master_metric).pivot_distance_matrix()
 
@@ -159,7 +157,9 @@ class TopKClosestPairs:
                     "exclude_self": self.exclude_self,
                 },
             )
-            job2 = runtime.run(job2_spec, split_records(job1.outputs, config.split_size))
+            job2 = runtime.run(
+                job2_spec, chain_splits(config, dfs, "partitioned", job1.outputs)
+            )
 
             merge_spec = MapReduceJob(
                 name="closest-pairs-merge",
@@ -169,7 +169,9 @@ class TopKClosestPairs:
                 num_reducers=1,
                 cache={"k": config.k},
             )
-            job3 = runtime.run(merge_spec, split_records(job2.outputs, config.split_size))
+            job3 = runtime.run(
+                merge_spec, chain_splits(config, dfs, "block-pairs", job2.outputs)
+            )
 
         pairs = [
             (int(r_id), int(s_id), float(dist))

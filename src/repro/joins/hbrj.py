@@ -82,10 +82,11 @@ class HBRJ(KnnJoinAlgorithm):
                 "rtree_capacity": config.rtree_capacity,
             },
         )
-        # one runtime (one warm pool under the pooled engines) for both jobs
-        with config.make_runtime() as runtime:
+        # one runtime (one warm pool under the pooled engines) for both jobs;
+        # out-of-core configs stage the candidate lists between them on disk
+        with config.make_runtime() as runtime, config.make_chain_dfs() as dfs:
             job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
-            job2 = run_merge_job(job1.outputs, config, runtime)
+            job2 = run_merge_job(job1.outputs, config, runtime, dfs=dfs)
 
         result = KnnJoinResult(config.k)
         for r_id, (ids, dists) in job2.outputs:

@@ -23,7 +23,6 @@ from repro.core.distance import get_metric
 from repro.core.partition import VoronoiPartitioner
 from repro.core.result import KnnJoinResult
 from repro.mapreduce.job import Context, Reducer
-from repro.mapreduce.splits import split_records
 
 from .base import (
     PAIRS_GROUP,
@@ -32,7 +31,7 @@ from .base import (
     JoinOutcome,
     KnnJoinAlgorithm,
 )
-from .block_framework import block_join_spec, run_merge_job
+from .block_framework import block_join_spec, chain_splits, run_merge_job
 from .kernels import (
     build_partition_blocks,
     knn_join_kernel,
@@ -103,8 +102,9 @@ class PBJ(KnnJoinAlgorithm):
         pivots = selector.select(r, config.num_pivots, master_metric, rng)
         phases["pivot_selection"] = time.perf_counter() - started
 
-        # one runtime (one warm pool under pooled engines) for all three jobs
-        with config.make_runtime() as runtime:
+        # one runtime (one warm pool under pooled engines) for all three jobs;
+        # out-of-core configs stage both intermediates on disk
+        with config.make_runtime() as runtime, config.make_chain_dfs() as dfs:
             # first job: annotate every object with cell id + pivot distance
             job1 = run_partitioning_job(r, s, pivots, config, runtime)
 
@@ -124,10 +124,12 @@ class PBJ(KnnJoinAlgorithm):
                     "pivot_dist_matrix": pdm,
                 },
             )
-            job2 = runtime.run(job2_spec, split_records(job1.outputs, config.split_size))
+            job2 = runtime.run(
+                job2_spec, chain_splits(config, dfs, "partitioned", job1.outputs)
+            )
 
             # third job: merge the per-block candidate lists
-            job3 = run_merge_job(job2.outputs, config, runtime)
+            job3 = run_merge_job(job2.outputs, config, runtime, dfs=dfs)
 
         result = KnnJoinResult(config.k)
         for r_id, (ids, dists) in job3.outputs:

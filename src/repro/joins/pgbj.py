@@ -23,7 +23,6 @@ from repro.core.geometry import PRUNE_EPS
 from repro.core.partition import VoronoiPartitioner
 from repro.core.result import KnnJoinResult
 from repro.grouping import get_grouping_strategy
-from repro.mapreduce.hdfs import DistributedFileSystem
 from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
 from repro.mapreduce.types import RecordBlock
@@ -164,8 +163,10 @@ class PGBJ(KnnJoinAlgorithm):
         phases["pivot_selection"] = time.perf_counter() - started
 
         # one runtime (and, for pooled engines, one warm worker pool) serves
-        # both MapReduce jobs of the pipeline; closed when the join finishes
-        with config.make_runtime() as runtime:
+        # both MapReduce jobs of the pipeline; the DFS holds the partitioned
+        # intermediate between them (segment-backed on disk for out-of-core
+        # configs).  Both close when the join finishes.
+        with config.make_runtime() as runtime, config.make_dfs() as dfs:
             # -- first job: Voronoi partitioning + summaries ------------------
             job1 = run_partitioning_job(r, s, pivots, config, runtime)
             tr, ts, merge_seconds = merge_summaries(job1, config.k)
@@ -183,9 +184,6 @@ class PGBJ(KnnJoinAlgorithm):
             phases["partition_grouping"] = time.perf_counter() - started
 
             # -- second job: route by group, join with the Algorithm 3 kernel -
-            dfs = DistributedFileSystem(
-                num_nodes=config.num_reducers, chunk_records=config.split_size
-            )
             dfs.put("partitioned", job1.outputs)
             ring_stats = {
                 pid: (ts.get(pid).lower, ts.get(pid).upper) for pid in ts.partition_ids()

@@ -26,9 +26,10 @@ from repro.core.geometry import PRUNE_EPS, ring_slice
 from repro.core.partition import VoronoiPartitioner
 from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
-from repro.mapreduce.splits import records_from_dataset, split_records
+from repro.mapreduce.splits import records_from_dataset
 
 from .base import PAIRS_GROUP, PAIRS_NAME, JoinConfig
+from .block_framework import chain_splits
 from .kernels import build_s_blocks
 
 __all__ = ["DistributedRangeSelection", "RangeSelectionOutcome"]
@@ -196,8 +197,12 @@ class DistributedRangeSelection:
                 "ring_stats": ring_stats,
             },
         )
-        with config.make_runtime() as runtime:
-            job = runtime.run(job_spec, split_records(records, config.split_size))
+        # out-of-core configs stage the annotated input on disk, so even the
+        # single-job operator's input splits decode in the map workers
+        with config.make_runtime() as runtime, config.make_chain_dfs() as dfs:
+            job = runtime.run(
+                job_spec, chain_splits(config, dfs, "range-input", records)
+            )
         matches = {query_id: ids for query_id, ids in job.outputs}
         # queries with zero reachable cells never reach a reducer: fill empties
         for row in range(len(queries)):

@@ -144,8 +144,11 @@ class ZOrderJoinReducer(Reducer):
         self._per_side = int(ctx.cache["candidates_per_side"])
 
     def reduce(self, key, values, ctx: Context):
-        r_items = [(z, oid, point) for is_r, oid, point, z in values if is_r]
-        s_items = [(z, oid, point) for is_r, oid, point, z in values if not is_r]
+        # values may be a one-shot stream (spill backend): split in one pass
+        r_items: list[tuple[int, int, np.ndarray]] = []
+        s_items: list[tuple[int, int, np.ndarray]] = []
+        for is_r, oid, point, z in values:
+            (r_items if is_r else s_items).append((z, oid, point))
         if not r_items or not s_items:
             return
         s_items.sort(key=lambda item: (item[0], item[1]))
@@ -230,10 +233,11 @@ class ZOrderKnnJoin(KnnJoinAlgorithm):
                 "candidates_per_side": config.candidates_per_side,
             },
         )
-        # one runtime (one warm pool under the pooled engines) for both jobs
-        with config.make_runtime() as runtime:
+        # one runtime (one warm pool under the pooled engines) for both jobs;
+        # out-of-core configs stage the candidate lists between them on disk
+        with config.make_runtime() as runtime, config.make_chain_dfs() as dfs:
             job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
-            job2 = run_merge_job(job1.outputs, config, runtime)
+            job2 = run_merge_job(job1.outputs, config, runtime, dfs=dfs)
 
         result = KnnJoinResult(config.k)
         for r_id, (ids, dists) in job2.outputs:

@@ -20,7 +20,7 @@ from .engines import (
     available_engines,
     get_executor,
 )
-from .hdfs import DfsFile, DistributedFileSystem
+from .hdfs import DfsFile, DistributedFileSystem, SegmentChunk
 from .job import BlockBufferingMapper, Context, Mapper, MapReduceJob, Reducer
 from .partitioners import HashPartitioner, ModPartitioner, Partitioner
 from .runtime import FaultInjector, JobResult, LocalRuntime, TaskFailure
@@ -30,6 +30,21 @@ from .serialization import (
     estimate_bytes,
     record_count,
     shuffle_sort_key,
+)
+from .shuffle import (
+    DEFAULT_MERGE_FAN_IN,
+    DEFAULT_SHUFFLE,
+    InMemoryShuffleStore,
+    MapManifest,
+    Segment,
+    ShuffleStore,
+    SpillShuffleStore,
+    available_shuffle_backends,
+    get_shuffle_store,
+    iter_segment,
+    merged_segment_groups,
+    planned_merge_passes,
+    write_segment,
 )
 from .splits import (
     dataset_splits,
@@ -72,6 +87,20 @@ __all__ = [
     "shuffle_sort_key",
     "encode_record_block",
     "decode_record_block",
+    "ShuffleStore",
+    "InMemoryShuffleStore",
+    "SpillShuffleStore",
+    "Segment",
+    "MapManifest",
+    "SegmentChunk",
+    "get_shuffle_store",
+    "available_shuffle_backends",
+    "DEFAULT_SHUFFLE",
+    "write_segment",
+    "iter_segment",
+    "merged_segment_groups",
+    "planned_merge_passes",
+    "DEFAULT_MERGE_FAN_IN",
     "dataset_splits",
     "records_from_dataset",
     "split_records",

@@ -14,6 +14,17 @@ map tasks → combine → shuffle → reduce tasks, retries, accounting); an
   payloads and results across process boundaries.  Requires picklable
   mapper/reducer factories (module-level classes) and cache contents.
 
+Under the out-of-core ``spill`` shuffle backend the process engines get a
+second, often larger win: map workers write their shuffle output to disk as
+sorted segment files *inside the worker* and return only a tiny segment
+**manifest** (paths + counters) as the attempt outcome, and reduce workers
+receive segment paths and stream-merge from disk — the full map output never
+makes the pickle round-trip through the result queue in either direction.
+The engine layer needs no special handling for this: manifests are just
+small attempt-outcome values, and the shared local filesystem is the data
+plane.  A future distributed executor replaces that filesystem with segment
+fetches while keeping this exact manifest contract.
+
 All backends receive the same ``(fn, shared, payloads)`` batch and must
 return results **in payload order**; the scheduler relies on that ordering to
 keep outputs, counters and shuffle accounting identical across engines.

@@ -6,44 +6,113 @@ reads them back as input splits.  The model keeps the pieces that matter for
 the reproduction — fixed-size chunks placed round-robin across data nodes
 (giving the split count and a locality hint), replication factor (the paper
 sets it to 1), and byte accounting for reads/writes — and nothing else.
+
+Two storage modes share one interface:
+
+* in-RAM chunks (the default) — each chunk is a plain list of records;
+* segment-backed chunks (``segment_backed=True``) — each chunk is written to
+  an on-disk segment file in the same wire format the spill shuffle uses,
+  and the stored :class:`SegmentChunk` is a lazy view that decodes only when
+  iterated.  Job-chaining intermediates then leave RAM, and input splits
+  handed to process-engine workers carry a path instead of pickled records —
+  the worker reads its split straight from disk.
+
+Chunk layout, record counts and byte accounting are identical in both modes.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from .serialization import estimate_bytes
 from .serialization import record_count as _record_count
+from .shuffle import OwnedScratchDir, iter_segment, write_segment
 from .types import InputSplit
 
-__all__ = ["DistributedFileSystem", "DfsFile"]
+__all__ = ["DistributedFileSystem", "DfsFile", "SegmentChunk"]
+
+
+@dataclass(frozen=True)
+class SegmentChunk:
+    """A lazy, sized view of one chunk stored in a segment file.
+
+    Iterating decodes the file entry by entry; nothing is cached, so two
+    passes read the disk twice and the chunk never pins memory.  Picklable by
+    value (a path plus its pair count), which is exactly what crosses the
+    process-engine boundary inside an
+    :class:`~repro.mapreduce.types.InputSplit`; the record-weighted size
+    lives in ``DfsFile.chunk_record_counts`` (one source of truth).
+    """
+
+    path: str
+    entries: int  # (key, value) pairs in the chunk
+
+    def __len__(self) -> int:
+        return self.entries
+
+    def __iter__(self):
+        for _, _, key, value in iter_segment(self.path):
+            yield key, value
+
+    def materialize(self) -> list[tuple[Any, Any]]:
+        """Decode the whole chunk into a plain record list."""
+        return list(self)
 
 
 @dataclass
 class DfsFile:
-    """One stored file: a list of chunks, each a list of records."""
+    """One stored file: a list of chunks, each a (possibly lazy) record list.
+
+    ``chunk_record_counts`` is maintained on every append, so
+    :meth:`record_count` is O(#chunks) arithmetic — it never rescans records
+    (split planning consults it repeatedly on multi-job pipelines, and a
+    rescan would force lazy segment chunks to decode).
+    """
 
     name: str
-    chunks: list[list[tuple[Any, Any]]] = field(default_factory=list)
+    chunks: list = field(default_factory=list)  # list[list | SegmentChunk]
     chunk_nodes: list[int] = field(default_factory=list)
+    chunk_record_counts: list[int] = field(default_factory=list)
     total_bytes: int = 0
 
+    def append_chunk(self, chunk, node: int, records: int) -> None:
+        """Add one chunk with its placement and record-weighted size."""
+        self.chunks.append(chunk)
+        self.chunk_nodes.append(node)
+        self.chunk_record_counts.append(records)
+
     def record_count(self) -> int:
-        """Total logical records across all chunks (blocks weigh their rows)."""
-        return sum(
-            _record_count(value) for chunk in self.chunks for _, value in chunk
-        )
+        """Total logical records across all chunks (blocks weigh their rows).
+
+        Served from the incrementally-maintained per-chunk counts; files
+        assembled by hand (tests) fall back to scanning once.
+        """
+        if len(self.chunk_record_counts) != len(self.chunks):
+            return sum(
+                _record_count(value) for chunk in self.chunks for _, value in chunk
+            )
+        return sum(self.chunk_record_counts)
 
 
 class DistributedFileSystem:
-    """Chunked, replicated record storage across ``num_nodes`` data nodes."""
+    """Chunked, replicated record storage across ``num_nodes`` data nodes.
+
+    With ``segment_backed=True`` every stored chunk lives in an on-disk
+    segment file under a private directory (a fresh ``mkdtemp`` under
+    ``segment_dir`` or the system temp dir); :meth:`close` removes it.  The
+    file system is a context manager, a no-op in the in-RAM mode.
+    """
 
     def __init__(
         self,
         num_nodes: int,
         chunk_records: int = 4096,
         replication: int = 1,
+        segment_backed: bool = False,
+        segment_dir: str | None = None,
     ) -> None:
         if num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
@@ -54,6 +123,9 @@ class DistributedFileSystem:
         self.num_nodes = num_nodes
         self.chunk_records = chunk_records
         self.replication = replication
+        self.segment_backed = segment_backed
+        self._scratch = OwnedScratchDir(prefix="repro-dfs-", parent=segment_dir)
+        self._file_counter = 0  # uniquifies paths across overwrites
         self._files: dict[str, DfsFile] = {}
         self._next_node = 0
 
@@ -65,18 +137,23 @@ class DistributedFileSystem:
         Chunk boundaries are *logical-record* positions (columnar blocks
         weigh their rows and are sliced at boundaries), so chunk layout —
         and the split/locality model built on it — does not depend on how
-        the records are encoded.
+        the records are encoded, nor on whether chunks live in RAM or in
+        segment files.
         """
         from .splits import weighted_record_chunks  # local: avoids a cycle
 
+        self.delete(name)  # frees the previous version's segment files
+        self._file_counter += 1
+        file_seq = self._file_counter
         file = DfsFile(name=name)
-        for chunk in weighted_record_chunks(records, self.chunk_records):
-            file.chunks.append(chunk)
-            file.chunk_nodes.append(self._next_node)
+        for index, chunk in enumerate(weighted_record_chunks(records, self.chunk_records)):
+            records_in_chunk = sum(_record_count(value) for _, value in chunk)
+            if self.segment_backed:
+                chunk = self._write_chunk(name, file_seq, index, chunk)
+            file.append_chunk(chunk, self._next_node, records_in_chunk)
             self._next_node = (self._next_node + 1) % self.num_nodes
         if not file.chunks:
-            file.chunks.append([])
-            file.chunk_nodes.append(self._next_node)
+            file.append_chunk([], self._next_node, 0)
             self._next_node = (self._next_node + 1) % self.num_nodes
         file.total_bytes = self.replication * sum(
             estimate_bytes(key) * _record_count(value) + estimate_bytes(value)
@@ -85,6 +162,23 @@ class DistributedFileSystem:
         self._files[name] = file
         return file
 
+    def _write_chunk(
+        self,
+        name: str,
+        file_seq: int,
+        index: int,
+        chunk: list[tuple[Any, Any]],
+    ) -> SegmentChunk:
+        safe = re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+        path = Path(self._scratch.ensure()) / f"{file_seq:04d}-{safe}-c{index:05d}.seg"
+        entries = (
+            # accounted bytes (last field) are unused for DFS chunks
+            (0, seq, key, value, _record_count(value), 0)
+            for seq, (key, value) in enumerate(chunk)
+        )
+        write_segment(path, reducer=0, entries=entries)
+        return SegmentChunk(path=str(path), entries=len(chunk))
+
     # -- read ----------------------------------------------------------------
 
     def exists(self, name: str) -> bool:
@@ -92,16 +186,29 @@ class DistributedFileSystem:
         return name in self._files
 
     def read(self, name: str) -> list[tuple[Any, Any]]:
-        """All records of a file, chunk order preserved."""
+        """All records of a file, chunk order preserved (lazy chunks decode)."""
         file = self._files[name]
         return [record for chunk in file.chunks for record in chunk]
 
     def splits(self, name: str) -> list[InputSplit]:
-        """One input split per chunk, with its primary node as locality hint."""
+        """One input split per chunk, with its primary node as locality hint.
+
+        Segment-backed chunks are handed out as-is — the split carries a lazy
+        view that the map task decodes in *its* worker — and every split's
+        ``logical_records`` is filled from the incrementally-maintained
+        counts, so planning never rehydrates a chunk.
+        """
         file = self._files[name]
         return [
-            InputSplit(split_id=index, records=list(chunk), location=node)
-            for index, (chunk, node) in enumerate(zip(file.chunks, file.chunk_nodes))
+            InputSplit(
+                split_id=index,
+                records=chunk if isinstance(chunk, SegmentChunk) else list(chunk),
+                location=node,
+                logical_records=records,
+            )
+            for index, (chunk, node, records) in enumerate(
+                zip(file.chunks, file.chunk_nodes, file.chunk_record_counts)
+            )
         ]
 
     def file_bytes(self, name: str) -> int:
@@ -109,5 +216,29 @@ class DistributedFileSystem:
         return self._files[name].total_bytes
 
     def delete(self, name: str) -> None:
-        """Remove a file (no-op if absent)."""
-        self._files.pop(name, None)
+        """Remove a file and any segment files backing it (no-op if absent)."""
+        file = self._files.pop(name, None)
+        if file is None:
+            return
+        for chunk in file.chunks:
+            if isinstance(chunk, SegmentChunk):
+                Path(chunk.path).unlink(missing_ok=True)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """End the segment-backed lifecycle; safe to call repeatedly.
+
+        Removes the segment directory and drops the (now path-dangling) file
+        table.  A pure in-RAM file system has nothing to release — close is
+        a no-op there and stored files remain readable.
+        """
+        if self.segment_backed:
+            self._files.clear()
+        self._scratch.close()
+
+    def __enter__(self) -> "DistributedFileSystem":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

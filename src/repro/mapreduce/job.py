@@ -112,8 +112,17 @@ class Reducer:
     def setup(self, ctx: Context) -> None:
         """Called once before the first key of the task."""
 
-    def reduce(self, key: Any, values: list[Any], ctx: Context) -> Iterable[tuple[Any, Any]]:
-        """Process one key group; yield output ``(key, value)`` pairs."""
+    def reduce(self, key: Any, values: Iterable[Any], ctx: Context) -> Iterable[tuple[Any, Any]]:
+        """Process one key group; yield output ``(key, value)`` pairs.
+
+        ``values`` is an *iterable consumed once*: a materialized list under
+        the in-memory shuffle backend, a lazily-decoded stream under the
+        out-of-core spill backend (keys arrive merge-sorted either way, and
+        value order within a key is arrival order in both).  Reducers that
+        need random access materialize with ``list(values)`` (or
+        :meth:`RecordBlock.gather`, which accepts any iterable); unconsumed
+        values are drained by the runtime, so early exit is safe.
+        """
         raise NotImplementedError
 
     def cleanup(self, ctx: Context) -> Iterable[tuple[Any, Any]]:

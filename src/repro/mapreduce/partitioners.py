@@ -7,6 +7,7 @@ CRC32, as Hadoop's default partitioner hashes writables.
 
 from __future__ import annotations
 
+import struct
 import zlib
 from abc import ABC, abstractmethod
 
@@ -30,6 +31,14 @@ def _stable_hash(key: object) -> int:
         return int(key)
     if isinstance(key, (int, np.integer)):
         return int(key)
+    if isinstance(key, (float, np.floating)):
+        # equal numbers must land on one reducer regardless of type — the
+        # shuffle dict treats 1, 1.0 and True as one key, so the partitioner
+        # must too; non-integral floats hash their IEEE-754 bytes
+        value = float(key)
+        if value.is_integer():
+            return int(value)
+        return zlib.crc32(struct.pack("<d", value))
     if isinstance(key, str):
         return zlib.crc32(key.encode("utf-8"))
     if isinstance(key, bytes):

@@ -6,30 +6,38 @@ shuffle with per-key sorted grouping, reduce tasks — while measuring what the
 paper measures: per-task CPU seconds (fed to the cluster model for simulated
 running time) and shuffle records/bytes.
 
-The runtime is split into two layers:
+The runtime is split into three layers:
 
 * :class:`LocalRuntime` — the backend-agnostic *scheduler*.  It plans task
-  batches, owns retry/fault-injection, performs the shuffle, and merges
-  counters, side outputs and stats in deterministic task order.
+  batches, owns retry/fault-injection, and merges counters, side outputs and
+  stats in deterministic task order.
 * an :class:`~repro.mapreduce.engines.Executor` — the *engine* that runs one
-  batch of independent task attempts: ``serial`` (default), ``threads`` or
-  ``processes``.  Task attempts are pure functions from ``(job, task spec)``
-  to an attempt outcome; workers return counters/side-outputs/durations as
-  values instead of mutating scheduler state, so every engine produces
-  bit-identical outputs and accounting.
+  batch of independent task attempts: ``serial`` (default), ``threads``,
+  ``processes`` or their persistent ``*-pooled`` variants.  Task attempts are
+  pure functions from ``(job, task spec)`` to an attempt outcome; workers
+  return counters/side-outputs/durations as values instead of mutating
+  scheduler state, so every engine produces bit-identical outputs.
+* a :class:`~repro.mapreduce.shuffle.ShuffleStore` — *where the shuffle
+  lives*: the in-memory ``"memory"`` backend buckets map emissions in the
+  scheduler (the historical behavior), while the out-of-core ``"spill"``
+  backend has map tasks write sorted segment files and return only segment
+  *manifests*, and feeds reducers a streaming k-way external merge.  Both
+  backends produce bit-identical outputs and accounting.
 
 Fault tolerance is modelled: a ``fault_injector`` callback may fail any task
 attempt; the scheduler re-executes the task (fresh instances from the
 factories) up to ``max_attempts`` times, and only successful attempts
 contribute output, counters and side outputs — exactly once semantics, as
 Hadoop provides through output commit.  Injection is evaluated on the
-scheduler side, so stateful injectors work under every engine.
+scheduler side, so stateful injectors work under every engine.  Spilled
+segments written by failed attempts are never referenced (each attempt's
+files carry its attempt number) and vanish when the store closes.
 """
 
 from __future__ import annotations
 
 import time
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -37,6 +45,16 @@ from .counters import Counters
 from .engines import DEFAULT_ENGINE, Executor, get_executor
 from .job import Context, MapReduceJob
 from .serialization import estimate_bytes, record_count, shuffle_sort_key
+from .shuffle import (
+    DEFAULT_MERGE_FAN_IN,
+    DEFAULT_SHUFFLE,
+    MapManifest,
+    ShuffleStore,
+    SpillMapWriter,
+    SpillSpec,
+    get_shuffle_store,
+    merged_segment_groups,
+)
 from .stats import JobStats, TaskStat
 from .types import InputSplit
 
@@ -71,19 +89,34 @@ class JobResult:
 
 @dataclass
 class _TaskSpec:
-    """One schedulable task: a map split or a pre-grouped reduce input."""
+    """One schedulable task: a map split or a reduce input.
+
+    Reduce inputs come in two shapes, matching the shuffle backends: fully
+    materialized ``groups`` (in-memory), or a tuple of on-disk ``segments``
+    the worker merge-streams (spill).  Map specs may carry a ``spill``
+    instruction telling the worker to write its own segment files and return
+    a manifest instead of emissions.
+    """
 
     kind: str  # "map" | "reduce"
     task_id: str
     index: int  # position within its phase (split index / reducer index)
     split: InputSplit | None = None
     groups: list[tuple[Any, list[Any]]] | None = None  # reduce: key-sorted
+    segments: tuple | None = None  # reduce: spilled runs to merge
+    merge_fan_in: int = DEFAULT_MERGE_FAN_IN  # reduce: max runs per merge
+    spill: SpillSpec | None = None  # map: write segments, return a manifest
+    attempt: int = 1  # current attempt number (uniquifies spill file names)
 
     def input_records(self) -> int:
         # record-weighted: a columnar RecordBlock counts its rows, so task
         # statistics stay comparable between the per-record and block paths
         if self.kind == "map":
+            if self.split.logical_records is not None:
+                return self.split.logical_records
             return sum(record_count(value) for _, value in self.split.records)
+        if self.segments is not None:
+            return sum(segment.records for segment in self.segments)
         return sum(
             record_count(value) for _, values in self.groups for value in values
         )
@@ -95,11 +128,14 @@ class _AttemptOutcome:
 
     ``ok=False`` carries a :class:`TaskFailure` message as a *value* — raising
     inside a pool worker would abort the whole batch, and the retry decision
-    belongs to the scheduler.
+    belongs to the scheduler.  Spilling map tasks return a ``manifest`` of
+    segment descriptors in place of ``emissions`` — the data itself never
+    crosses the worker boundary.
     """
 
     ok: bool
     emissions: list[tuple[Any, Any]] = field(default_factory=list)
+    manifest: MapManifest | None = None
     counters: Counters = field(default_factory=Counters)
     side_outputs: dict[str, list[Any]] = field(default_factory=dict)
     duration_s: float = 0.0
@@ -111,7 +147,7 @@ class _AttemptOutcome:
 
 @dataclass
 class _Attempted:
-    """Successful task attempt: emissions plus bookkeeping."""
+    """Successful task attempt: emissions (or a manifest) plus bookkeeping."""
 
     emissions: list[tuple[Any, Any]]
     counters: Counters
@@ -119,6 +155,12 @@ class _Attempted:
     duration_s: float
     attempts: int
     input_records: int = 0
+    manifest: MapManifest | None = None
+
+    def output_records(self) -> int:
+        if self.manifest is not None:
+            return self.manifest.output_records
+        return _emission_records(self.emissions)
 
 
 def _execute_attempt(job: MapReduceJob, task: _TaskSpec) -> _AttemptOutcome:
@@ -133,11 +175,14 @@ def _execute_attempt(job: MapReduceJob, task: _TaskSpec) -> _AttemptOutcome:
     # on the GIL (or the scheduler) must not inflate each other's measured
     # task cost — simulated running times stay comparable across engines
     started = time.thread_time()
+    manifest: MapManifest | None = None
     try:
-        if task.kind == "map":
+        if task.kind == "map" and task.spill is not None:
+            emissions, manifest = [], _map_attempt_spilled(job, task, ctx)
+        elif task.kind == "map":
             emissions = _map_attempt(job, task.split, ctx)
         else:
-            emissions = _reduce_attempt(job, task.groups, ctx)
+            emissions = _reduce_attempt(job, task, ctx)
     except TaskFailure as error:
         return _AttemptOutcome(ok=False, error=str(error), cause=error)
     duration = time.thread_time() - started
@@ -145,34 +190,71 @@ def _execute_attempt(job: MapReduceJob, task: _TaskSpec) -> _AttemptOutcome:
     return _AttemptOutcome(
         ok=True,
         emissions=emissions,
+        manifest=manifest,
         counters=counters,
         side_outputs=side_outputs,
         duration_s=duration,
     )
 
 
+def _iter_map_emissions(
+    job: MapReduceJob, split: InputSplit, ctx: Context
+) -> Iterator[tuple[Any, Any]]:
+    """Stream one map task's raw emissions (setup → per-record → cleanup)."""
+    mapper = job.mapper_factory()
+    mapper.setup(ctx)
+    for key, value in split.records:
+        yield from mapper.map(key, value, ctx)
+    yield from mapper.cleanup(ctx)
+
+
 def _map_attempt(
     job: MapReduceJob, split: InputSplit, ctx: Context
 ) -> list[tuple[Any, Any]]:
-    mapper = job.mapper_factory()
-    emissions: list[tuple[Any, Any]] = []
-    mapper.setup(ctx)
-    for key, value in split.records:
-        emissions.extend(mapper.map(key, value, ctx))
-    emissions.extend(mapper.cleanup(ctx))
+    emissions = list(_iter_map_emissions(job, split, ctx))
     if job.combiner_factory is not None:
         emissions = _combine(job, emissions, ctx)
     return emissions
 
 
+def _map_attempt_spilled(
+    job: MapReduceJob, task: _TaskSpec, ctx: Context
+) -> MapManifest:
+    """Map attempt that spills its own output: emissions stream straight into
+    the partitioned writer (a combiner forces one materialization first, as
+    combining is defined over the whole task output)."""
+    writer = SpillMapWriter(
+        task.spill, task.attempt, job.partitioner, job.num_reducers
+    )
+    if job.combiner_factory is None:
+        for key, value in _iter_map_emissions(job, task.split, ctx):
+            writer.add(key, value)
+    else:
+        for key, value in _map_attempt(job, task.split, ctx):
+            writer.add(key, value)
+    return writer.finish()
+
+
 def _reduce_attempt(
-    job: MapReduceJob, groups: list[tuple[Any, list[Any]]], ctx: Context
+    job: MapReduceJob, task: _TaskSpec, ctx: Context
 ) -> list[tuple[Any, Any]]:
     reducer = job.reducer_factory()
     emissions: list[tuple[Any, Any]] = []
     reducer.setup(ctx)
-    for key, values in groups:
-        emissions.extend(reducer.reduce(key, values, ctx))
+    if task.segments is not None:
+        # streaming path: keys arrive merge-sorted, values decode lazily;
+        # the scratch prefix keeps intermediate merge runs of concurrent
+        # (and retried) reduce attempts from colliding
+        groups = merged_segment_groups(
+            task.segments,
+            fan_in=task.merge_fan_in,
+            scratch_prefix=f"{task.task_id}-a{task.attempt:02d}",
+        )
+        for key, values in groups:
+            emissions.extend(reducer.reduce(key, values, ctx))
+    else:
+        for key, values in task.groups:
+            emissions.extend(reducer.reduce(key, values, ctx))
     emissions.extend(reducer.cleanup(ctx))
     return emissions
 
@@ -204,10 +286,18 @@ class LocalRuntime:
     the seam custom backends plug into, and the way several runtimes can
     share one persistent pool.
 
+    ``shuffle`` selects the shuffle backend by name (``memory``, the
+    historical default, or the out-of-core ``spill``) or accepts a ready
+    :class:`~repro.mapreduce.shuffle.ShuffleStore`.  Setting ``memory_budget``
+    (bytes of buffered map output per task before a spill run) or
+    ``spill_dir`` implies ``spill``.  Both backends produce bit-identical
+    results and accounting under every engine.
+
     The runtime has an explicit lifecycle: :meth:`close` tears down the
-    executor it constructed (idempotent; executors passed in via ``executor``
-    belong to the caller and are left open), and the runtime is a context
-    manager so drivers can hold a pool exactly as long as one join runs.
+    executor and shuffle store it constructed (idempotent; instances passed
+    in belong to the caller and are left open), and the runtime is a context
+    manager so drivers can hold a pool — and the spill directory — exactly
+    as long as one join runs.
     """
 
     def __init__(
@@ -217,6 +307,9 @@ class LocalRuntime:
         engine: str = DEFAULT_ENGINE,
         max_workers: int | None = None,
         executor: Executor | None = None,
+        shuffle: str | ShuffleStore = DEFAULT_SHUFFLE,
+        memory_budget: int | None = None,
+        spill_dir: str | None = None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -224,22 +317,43 @@ class LocalRuntime:
         self.max_attempts = max_attempts
         self._owns_executor = executor is None
         self.executor = executor if executor is not None else get_executor(engine, max_workers)
+        self._owns_store = not isinstance(shuffle, ShuffleStore)
+        if isinstance(shuffle, ShuffleStore):
+            self.shuffle_store = shuffle
+        else:
+            backend = shuffle
+            if backend == DEFAULT_SHUFFLE and (
+                memory_budget is not None or spill_dir is not None
+            ):
+                backend = "spill"  # the knobs only mean something out-of-core
+            self.shuffle_store = get_shuffle_store(
+                backend, memory_budget=memory_budget, spill_dir=spill_dir
+            )
 
     @property
     def engine(self) -> str:
         """Name of the execution backend in use."""
         return self.executor.name
 
+    @property
+    def shuffle_backend(self) -> str:
+        """Name of the shuffle backend in use."""
+        return self.shuffle_store.name
+
     # -- lifecycle --------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the executor (worker pools); safe to call more than once.
+        """Release the executor (worker pools) and the shuffle store (spill
+        files); safe to call more than once.
 
-        Only executors the runtime constructed itself are closed — a shared
-        executor injected by the caller stays open for its other runtimes.
+        Only resources the runtime constructed itself are closed — a shared
+        executor or store injected by the caller stays open for its other
+        runtimes.
         """
         if self._owns_executor:
             self.executor.close()
+        if self._owns_store:
+            self.shuffle_store.close()
 
     def __enter__(self) -> "LocalRuntime":
         return self
@@ -256,10 +370,21 @@ class LocalRuntime:
         stats = JobStats(job_name=job.name)
         stats.cache_bytes = _cache_bytes(job.cache)
 
-        map_specs = [
-            _TaskSpec(kind="map", task_id=f"{job.name}-m-{index:05d}", index=index, split=split)
-            for index, split in enumerate(splits)
-        ]
+        if job.reducer_factory is not None:
+            self.shuffle_store.begin_job(job)
+        map_specs = []
+        for index, split in enumerate(splits):
+            task_id = f"{job.name}-m-{index:05d}"
+            spill = (
+                self.shuffle_store.map_spill_spec(job, task_id, index)
+                if job.reducer_factory is not None
+                else None
+            )
+            map_specs.append(
+                _TaskSpec(
+                    kind="map", task_id=task_id, index=index, split=split, spill=spill
+                )
+            )
         map_results = self._run_phase(job, map_specs)
         for spec, attempt in zip(map_specs, map_results):
             counters.merge(attempt.counters)
@@ -271,7 +396,7 @@ class LocalRuntime:
                     kind="map",
                     duration_s=attempt.duration_s,
                     input_records=attempt.input_records,
-                    output_records=_emission_records(attempt.emissions),
+                    output_records=attempt.output_records(),
                     attempts=attempt.attempts,
                 )
             )
@@ -282,19 +407,18 @@ class LocalRuntime:
             stats.output_bytes = _pairs_bytes(outputs)
             return JobResult(job.name, outputs, None, side_outputs, counters, stats)
 
-        buckets = self._shuffle(job, map_results, stats)
+        reduce_inputs = self.shuffle_store.plan_reduce(job, map_results, stats)
 
         reduce_specs = [
             _TaskSpec(
                 kind="reduce",
-                task_id=f"{job.name}-r-{reducer_index:05d}",
-                index=reducer_index,
-                groups=sorted(
-                    bucket.items(), key=lambda item: shuffle_sort_key(item[0])
-                ),
+                task_id=f"{job.name}-r-{plan.reducer:05d}",
+                index=plan.reducer,
+                groups=plan.groups,
+                segments=plan.segments,
+                merge_fan_in=plan.merge_fan_in,
             )
-            for reducer_index, bucket in enumerate(buckets)
-            if bucket
+            for plan in reduce_inputs
         ]
         reduce_results = dict(
             zip(
@@ -357,6 +481,7 @@ class LocalRuntime:
             for spec in pending:
                 attempts_used[spec.index] += 1
                 number = attempts_used[spec.index]
+                spec.attempt = number  # spill files are attempt-tagged
                 if self.fault_injector is not None and self.fault_injector(
                     spec.kind, spec.task_id, number
                 ):
@@ -381,6 +506,7 @@ class LocalRuntime:
                         duration_s=outcome.duration_s,
                         attempts=attempts_used[spec.index],
                         input_records=spec.input_records(),
+                        manifest=outcome.manifest,
                     )
                 else:
                     cause = outcome.cause or TaskFailure(outcome.error)
@@ -398,37 +524,6 @@ class LocalRuntime:
             raise TaskFailure(
                 f"task {spec.task_id} failed after {self.max_attempts} attempts"
             ) from cause
-
-    # -- shuffle ----------------------------------------------------------------
-
-    def _shuffle(
-        self,
-        job: MapReduceJob,
-        map_results: list[_Attempted],
-        stats: JobStats,
-    ) -> list[dict[Any, list[Any]]]:
-        """Partition, account, and group the intermediate pairs."""
-        buckets: list[dict[Any, list[Any]]] = [{} for _ in range(job.num_reducers)]
-        shuffle_bytes = 0
-        shuffle_records = 0
-        for attempt in map_results:
-            for key, value in attempt.emissions:
-                reducer_index = job.partitioner.assign(key, job.num_reducers)
-                if not 0 <= reducer_index < job.num_reducers:
-                    raise ValueError(
-                        f"partitioner produced reducer {reducer_index} "
-                        f"outside [0, {job.num_reducers})"
-                    )
-                buckets[reducer_index].setdefault(key, []).append(value)
-                # per-record accounting: a columnar block counts one record
-                # (and one key copy — Hadoop frames the key with every record)
-                # per row, so block encoding never shows up in the metrics
-                records = record_count(value)
-                shuffle_records += records
-                shuffle_bytes += estimate_bytes(key) * records + estimate_bytes(value)
-        stats.shuffle_records = shuffle_records
-        stats.shuffle_bytes = shuffle_bytes
-        return buckets
 
 
 def _cache_bytes(cache: dict[str, Any]) -> int:

@@ -29,6 +29,15 @@ class JobStats:
     traffic (zero for map-only jobs, whose output lands on the DFS);
     ``cache_bytes`` is the distributed-cache size broadcast at setup;
     ``output_bytes`` is the final job output written to the DFS.
+
+    The spill counters describe the out-of-core shuffle backend's disk
+    activity and are **zero on the in-memory backend**: ``spill_segments``
+    sorted runs written by map tasks, ``spill_bytes`` actual segment-file
+    bytes on disk, ``merge_passes`` k-way external merges performed by the
+    reduce phase (one single-pass merge per reducer that received spilled
+    input).  They are bookkeeping about *where* the shuffle lived, not part
+    of the paper's measurements — shuffle records/bytes stay bit-identical
+    across backends.
     """
 
     job_name: str
@@ -38,6 +47,9 @@ class JobStats:
     shuffle_bytes: int = 0
     cache_bytes: int = 0
     output_bytes: int = 0
+    spill_segments: int = 0
+    spill_bytes: int = 0
+    merge_passes: int = 0
 
     # -- aggregate work -------------------------------------------------------
 

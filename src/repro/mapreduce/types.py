@@ -217,11 +217,20 @@ class RecordBlock:
 
 @dataclass
 class InputSplit:
-    """A chunk of job input, the unit handed to one map task."""
+    """A chunk of job input, the unit handed to one map task.
+
+    ``records`` is usually a plain list of ``(key, value)`` pairs, but any
+    sized iterable works — the segment-backed DFS hands out lazy chunk views
+    that decode from disk only when a map task iterates them.
+    ``logical_records``, when set by the producer, caches the record-weighted
+    size (blocks weigh their rows) so schedulers never need to materialize a
+    lazy split just to account its input records.
+    """
 
     split_id: int
-    records: list = field(default_factory=list)  # list of (key, value) pairs
+    records: list = field(default_factory=list)  # sized iterable of (key, value)
     location: int = 0  # node hosting the primary replica (locality hint)
+    logical_records: int | None = None  # cached record-weighted size
 
     def __len__(self) -> int:
         return len(self.records)

@@ -450,6 +450,107 @@ def _kill_worker(shared, payload):
     os._exit(13)
 
 
+class TestSpillCrossEngine:
+    """Out-of-core shuffle x engines: the spill backend must be invisible.
+
+    A tiny ``memory_budget`` forces every map task to spill (usually one
+    segment per emission) and every reducer through the external merge, on
+    every engine — under the process backends the map output literally never
+    returns to the parent (manifests only).  Outputs, counters, shuffle
+    accounting AND the spill counters themselves must match the serial
+    in-memory reference / serial spill reference respectively.
+    """
+
+    @pytest.fixture(scope="class")
+    def memory_reference(self):
+        return job_fingerprint(LocalRuntime().run(norm_job(), norm_splits()))
+
+    @pytest.fixture(scope="class")
+    def spill_counters_reference(self):
+        with LocalRuntime(memory_budget=0) as runtime:
+            result = runtime.run(norm_job(), norm_splits())
+        return (
+            result.stats.spill_segments,
+            result.stats.spill_bytes,
+            result.stats.merge_passes,
+        )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_job_spill_equivalence(
+        self, engine, memory_reference, spill_counters_reference
+    ):
+        with LocalRuntime(engine=engine, max_workers=2, memory_budget=0) as runtime:
+            result = runtime.run(norm_job(), norm_splits())
+        assert job_fingerprint(result) == memory_reference
+        counters = (
+            result.stats.spill_segments,
+            result.stats.spill_bytes,
+            result.stats.merge_passes,
+        )
+        assert counters == spill_counters_reference
+        assert counters[0] > 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_job_spill_with_retries(self, engine, memory_reference):
+        def injector(kind, task_id, attempt):
+            return attempt == 1  # every task's first attempt fails
+
+        with LocalRuntime(
+            fault_injector=injector, engine=engine, max_workers=2, memory_budget=16
+        ) as runtime:
+            result = runtime.run(norm_job(), norm_splits())
+        assert job_fingerprint(result) == memory_reference
+
+
+class TestSpillCrossEngineJoins:
+    """Whole joins with a spill-forcing budget agree with serial in-memory."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_forest(240, seed=3)
+
+    def pgbj_outcome(self, data, engine, budget):
+        config = PgbjConfig(
+            k=3, num_reducers=4, num_pivots=12, split_size=64,
+            engine=engine, max_workers=2, memory_budget=budget,
+        )
+        return PGBJ(config).run(data, data)
+
+    def zorder_outcome(self, data, engine, budget):
+        config = ZOrderConfig(
+            k=3, num_reducers=4, num_shifts=2, split_size=64,
+            engine=engine, max_workers=2, memory_budget=budget,
+        )
+        return ZOrderKnnJoin(config).run(data, data)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_pgbj_spill_equivalence(self, data, engine):
+        serial = self.pgbj_outcome(data, "serial", budget=None)
+        assert serial.spill_segments() == 0
+        spilled = self.pgbj_outcome(data, engine, budget=64)
+        assert outcome_fingerprint(spilled) == outcome_fingerprint(serial)
+        assert spilled.spill_segments() > 0
+        assert spilled.merge_passes() > 0
+
+    @pytest.mark.parametrize("engine", ("serial", "processes-pooled"))
+    def test_zorder_spill_equivalence(self, data, engine):
+        serial = self.zorder_outcome(data, "serial", budget=None)
+        spilled = self.zorder_outcome(data, engine, budget=64)
+        assert outcome_fingerprint(spilled) == outcome_fingerprint(serial)
+        assert spilled.spill_segments() > 0
+
+    def test_spill_counters_engine_independent(self, data):
+        reference = self.pgbj_outcome(data, "serial", budget=64)
+        parallel = self.pgbj_outcome(data, "processes-pooled", budget=64)
+        assert [
+            (s.spill_segments, s.spill_bytes, s.merge_passes)
+            for s in parallel.job_stats
+        ] == [
+            (s.spill_segments, s.spill_bytes, s.merge_passes)
+            for s in reference.job_stats
+        ]
+
+
 class TestNumpyDerivedKeys:
     """Regression: np.bool_ keys/values crashed shuffle accounting/grouping."""
 
