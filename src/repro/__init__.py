@@ -11,16 +11,20 @@ Datasets and metric space::
 
 Running a join (PGBJ is the paper's algorithm)::
 
-    from repro import PGBJ, PgbjConfig
-    outcome = PGBJ(PgbjConfig(k=10, num_reducers=9, num_pivots=64)).run(r, s)
+    from repro import PgbjConfig, run_join
+    outcome = run_join("pgbj", r, s, PgbjConfig(k=10, num_reducers=9, num_pivots=64))
     outcome.result.neighbors_of(r_id)   # -> (ids, dists)
     outcome.selectivity()               # Equation 13
     outcome.shuffle_bytes()             # shuffling cost
     outcome.simulated_seconds(Cluster(num_nodes=36))
 
+Every algorithm is registered as a declarative plan builder:
+:func:`run_join` resolves the name, builds its
+:class:`~repro.mapreduce.plan.JobGraph` and executes the stages (independent
+ones concurrently) on one runtime; ``available_joins()`` lists the registry.
 Baselines: :class:`HBRJ` (R-tree block join), :class:`PBJ` (pruning without
 grouping), :class:`BroadcastJoin` (naive).  All are exact and agree with the
-brute-force join.
+brute-force join; the historical classes remain as shims over ``run_join``.
 """
 
 from .core import (
@@ -44,12 +48,16 @@ from .joins import (
     JoinConfig,
     JoinOutcome,
     PgbjConfig,
+    StageStats,
     TopKClosestPairs,
     ZOrderConfig,
     ZOrderKnnJoin,
+    available_joins,
+    get_join,
     make_algorithm,
+    run_join,
 )
-from .mapreduce import Cluster, LocalRuntime, MapReduceJob
+from .mapreduce import Cluster, JobGraph, LocalRuntime, MapReduceJob, PlanCache
 
 __version__ = "1.0.0"
 
@@ -75,9 +83,15 @@ __all__ = [
     "ZOrderConfig",
     "TopKClosestPairs",
     "DistributedRangeSelection",
+    "StageStats",
     "make_algorithm",
+    "run_join",
+    "get_join",
+    "available_joins",
     "Cluster",
     "LocalRuntime",
     "MapReduceJob",
+    "JobGraph",
+    "PlanCache",
     "__version__",
 ]

@@ -19,16 +19,7 @@ from typing import Any
 
 from repro.core.dataset import Dataset
 from repro.datasets import expand_dataset, generate_forest, generate_osm
-from repro.joins import (
-    HBRJ,
-    PBJ,
-    PGBJ,
-    BlockJoinConfig,
-    JoinOutcome,
-    PgbjConfig,
-    ZOrderConfig,
-    ZOrderKnnJoin,
-)
+from repro.joins import JoinOutcome, get_join, run_join
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.engines import DEFAULT_ENGINE, available_engines
 
@@ -42,6 +33,7 @@ __all__ = [
     "forest_workload",
     "osm_workload",
     "default_cluster",
+    "run_algorithm",
     "run_pgbj",
     "run_pbj",
     "run_hbrj",
@@ -171,8 +163,29 @@ def _engine_params() -> dict[str, Any]:
     return params
 
 
-def run_pgbj(r: Dataset, s: Dataset, **overrides) -> JoinOutcome:
-    """Run PGBJ with bench defaults, overridable per experiment."""
+def run_algorithm(name: str, r: Dataset, s: Dataset, **overrides) -> JoinOutcome:
+    """Run any registered join with bench defaults, per-experiment overrides.
+
+    The registry-driven sibling of the named runners below: the algorithm's
+    :class:`~repro.joins.registry.JoinSpec` filters the default knob union
+    down to what its config accepts, so one runner serves every algorithm.
+    Overrides pass straight through — including the plan knobs
+    (``plan_cache`` to share stage results across a sweep,
+    ``plan_concurrency=False`` to force sequential stages) and
+    ``shared_executor`` for one warm pool across a pipeline.  A knob this
+    algorithm's config doesn't accept is dropped only if *some* registered
+    algorithm accepts it (cross-algorithm sweeps hand every runner the same
+    overrides); a name no config knows is a typo and raises.
+    """
+    from repro.joins.registry import known_config_knobs
+
+    unknown = set(overrides) - known_config_knobs()
+    if unknown:
+        raise TypeError(
+            f"unknown join knob(s) {sorted(unknown)}; no registered "
+            "algorithm's config accepts them"
+        )
+    spec = get_join(name)
     params = {
         "k": DEFAULTS["k"],
         "num_reducers": DEFAULTS["num_reducers"],
@@ -181,46 +194,27 @@ def run_pgbj(r: Dataset, s: Dataset, **overrides) -> JoinOutcome:
         **_engine_params(),
     }
     params.update(overrides)
-    return PGBJ(PgbjConfig(**params)).run(r, s)
+    return run_join(spec.name, r, s, spec.make_config(**params))
+
+
+def run_pgbj(r: Dataset, s: Dataset, **overrides) -> JoinOutcome:
+    """Run PGBJ with bench defaults, overridable per experiment."""
+    return run_algorithm("pgbj", r, s, **overrides)
 
 
 def run_pbj(r: Dataset, s: Dataset, **overrides) -> JoinOutcome:
     """Run PBJ with bench defaults."""
-    params = {
-        "k": DEFAULTS["k"],
-        "num_reducers": DEFAULTS["num_reducers"],
-        "num_pivots": scaled_pivots(DEFAULTS["num_pivots"]),
-        "split_size": DEFAULTS["split_size"],
-        **_engine_params(),
-    }
-    params.update(overrides)
-    return PBJ(BlockJoinConfig(**params)).run(r, s)
+    return run_algorithm("pbj", r, s, **overrides)
 
 
 def run_hbrj(r: Dataset, s: Dataset, **overrides) -> JoinOutcome:
-    """Run H-BRJ with bench defaults."""
-    params = {
-        "k": DEFAULTS["k"],
-        "num_reducers": DEFAULTS["num_reducers"],
-        "split_size": DEFAULTS["split_size"],
-        **_engine_params(),
-    }
-    params.update(overrides)
-    params.pop("num_pivots", None)  # H-BRJ has no pivots
-    return HBRJ(BlockJoinConfig(**params)).run(r, s)
+    """Run H-BRJ with bench defaults (pivot knobs are filtered out)."""
+    return run_algorithm("hbrj", r, s, **overrides)
 
 
 def run_zorder(r: Dataset, s: Dataset, **overrides) -> JoinOutcome:
     """Run the approximate z-order join with bench defaults."""
-    params = {
-        "k": DEFAULTS["k"],
-        "num_reducers": DEFAULTS["num_reducers"],
-        "split_size": DEFAULTS["split_size"],
-        **_engine_params(),
-    }
-    params.update(overrides)
-    params.pop("num_pivots", None)  # the z-order join has no pivots
-    return ZOrderKnnJoin(ZOrderConfig(**params)).run(r, s)
+    return run_algorithm("zorder", r, s, **overrides)
 
 
 # -- kernel performance trajectory ---------------------------------------------

@@ -3,9 +3,14 @@
 Examples::
 
     repro info
+    repro --list-algorithms
     repro join --algorithm pgbj --dataset forest --objects 2000 --k 10
     repro bench fig8
     repro bench all --results-dir results
+
+The ``--algorithm`` choices and the dispatch both come from the join
+registry (:func:`repro.joins.available_joins`): registering a new algorithm
+makes it runnable here with no CLI change.
 """
 
 from __future__ import annotations
@@ -26,15 +31,7 @@ from repro.bench import (
 )
 from repro.bench.harness import DEFAULTS, bench_scale, default_cluster
 from repro.datasets import expand_dataset, generate_forest, generate_osm
-from repro.joins import (
-    HBRJ,
-    PBJ,
-    PGBJ,
-    BlockJoinConfig,
-    BroadcastJoin,
-    JoinConfig,
-    PgbjConfig,
-)
+from repro.joins import available_joins, get_join, run_join
 from repro.mapreduce import DEFAULT_ENGINE, available_engines
 
 __all__ = ["main"]
@@ -74,13 +71,26 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Efficient Processing of kNN Joins using MapReduce' (VLDB 2012)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--list-algorithms",
+        action="store_true",
+        help="list every registered join algorithm/operator and exit",
+    )
+    parser.add_argument(
+        "--list-engines",
+        action="store_true",
+        help="list the registered execution engines and exit",
+    )
+    sub = parser.add_subparsers(dest="command")
 
     sub.add_parser("info", help="show version, defaults and bench scale")
 
     join = sub.add_parser("join", help="run one kNN join and print its measurements")
     join.add_argument(
-        "--algorithm", choices=["pgbj", "pbj", "hbrj", "ijoin", "broadcast"], default="pgbj"
+        "--algorithm",
+        # the registry is the single source of what is runnable here
+        choices=list(available_joins(kind="knn")),
+        default="pgbj",
     )
     join.add_argument("--dataset", choices=["forest", "osm"], default="forest")
     join.add_argument("--objects", type=int, default=2000)
@@ -123,6 +133,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for shuffle segment files (default: system temp)",
     )
+    join.add_argument(
+        "--no-plan-concurrency",
+        action="store_true",
+        help=(
+            "schedule the join's plan stages strictly sequentially (the "
+            "historical driver order) instead of overlapping independent "
+            "stages; results are bit-identical either way"
+        ),
+    )
 
     bench = sub.add_parser("bench", help="reproduce one exhibit (or `all`)")
     bench.add_argument("exhibit", choices=list(EXHIBITS) + ["all"])
@@ -131,12 +150,29 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_list_algorithms() -> int:
+    for name in available_joins():
+        spec = get_join(name)
+        label = name if spec.kind == "knn" else f"{name} (operator)"
+        print(f"{label:28s} {spec.summary}")
+    return 0
+
+
+def _cmd_list_engines() -> int:
+    for engine in available_engines():
+        suffix = " (default)" if engine == DEFAULT_ENGINE else ""
+        print(f"{engine}{suffix}")
+    return 0
+
+
 def _cmd_info() -> int:
     from repro import __version__
 
     print(f"repro {__version__} — PGBJ kNN-join reproduction (VLDB 2012)")
     print(f"bench scale: {bench_scale()} (set REPRO_BENCH_SCALE to change)")
     print(f"engines: {', '.join(available_engines())} (default {DEFAULT_ENGINE})")
+    print(f"algorithms: {', '.join(available_joins(kind='knn'))}")
+    print(f"operators: {', '.join(available_joins(kind='operator'))}")
     print("bench defaults (paper values in DESIGN.md):")
     for key, value in DEFAULTS.items():
         print(f"  {key} = {value}")
@@ -149,7 +185,9 @@ def _cmd_join(args: argparse.Namespace) -> int:
         data = expand_dataset(base, 10)
     else:
         data = generate_osm(args.objects, seed=args.seed)
-    common = dict(
+    spec = get_join(args.algorithm)
+    # the spec filters this union of knobs down to what its config accepts
+    config = spec.make_config(
         k=args.k,
         num_reducers=args.num_reducers,
         seed=args.seed,
@@ -157,28 +195,12 @@ def _cmd_join(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         memory_budget=args.memory_budget,
         spill_dir=args.spill_dir,
+        plan_concurrency=not args.no_plan_concurrency,
+        num_pivots=args.num_pivots,
+        pivot_selection=args.pivot_selection,
+        grouping=args.grouping,
     )
-    if args.algorithm == "pgbj":
-        algorithm = PGBJ(
-            PgbjConfig(
-                num_pivots=args.num_pivots,
-                pivot_selection=args.pivot_selection,
-                grouping=args.grouping,
-                **common,
-            )
-        )
-    elif args.algorithm == "pbj":
-        algorithm = PBJ(BlockJoinConfig(num_pivots=args.num_pivots, **common))
-    elif args.algorithm == "hbrj":
-        algorithm = HBRJ(BlockJoinConfig(**common))
-    elif args.algorithm == "ijoin":
-        from repro.joins import IJoinBlock
-
-        algorithm = IJoinBlock(BlockJoinConfig(num_pivots=args.num_pivots, **common))
-    else:
-        algorithm = BroadcastJoin(JoinConfig(**common))
-
-    outcome = algorithm.run(data, data)
+    outcome = run_join(spec.name, data, data, config)
     cluster = default_cluster(args.num_reducers)
     print(f"algorithm            : {outcome.algorithm}")
     print(f"engine               : {args.engine}"
@@ -213,14 +235,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point (console script ``repro``)."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_algorithms:
+        return _cmd_list_algorithms()
+    if args.list_engines:
+        return _cmd_list_engines()
     if args.command == "info":
         return _cmd_info()
     if args.command == "join":
         return _cmd_join(args)
     if args.command == "bench":
         return _cmd_bench(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    parser.error("a command is required (info, join or bench)")
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

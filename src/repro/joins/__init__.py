@@ -1,4 +1,4 @@
-"""Distributed kNN join algorithms.
+"""Distributed kNN join algorithms, planned as dataflow graphs.
 
 * :class:`PGBJ` — the paper's contribution (Voronoi partitioning + grouping).
 * :class:`PBJ` — the pruning kernel inside the block framework (no grouping).
@@ -8,6 +8,14 @@
 All produce identical exact results; they differ in running time, computation
 selectivity and shuffling cost — the paper's three measurements, exposed on
 :class:`JoinOutcome`.
+
+Every algorithm (the approximate z-order join and the closest-pairs /
+range-selection operators included) is registered as a *plan builder*: it
+describes its MapReduce pipeline as a :class:`~repro.mapreduce.plan.JobGraph`
+whose stages a :class:`~repro.mapreduce.plan.PlanScheduler` executes —
+concurrently where dependencies allow, with content-keyed stage reuse across
+sweeps.  :func:`run_join` is the uniform entry point; the classes above are
+thin shims over it.
 """
 
 from .base import (
@@ -16,7 +24,20 @@ from .base import (
     JoinOutcome,
     KnnJoinAlgorithm,
     PgbjConfig,
+    StageStats,
 )
+from .registry import (
+    JoinPlan,
+    JoinSpec,
+    available_joins,
+    dataset_fingerprint,
+    get_join,
+    plan_join,
+    run_join,
+    run_join_plans,
+)
+
+# importing the driver modules populates the registry
 from .basic import BroadcastJoin
 from .closest_pairs import ClosestPairsOutcome, TopKClosestPairs
 from .hbrj import HBRJ
@@ -31,6 +52,7 @@ __all__ = [
     "PgbjConfig",
     "BlockJoinConfig",
     "JoinOutcome",
+    "StageStats",
     "KnnJoinAlgorithm",
     "PGBJ",
     "PBJ",
@@ -44,31 +66,43 @@ __all__ = [
     "RangeSelectionOutcome",
     "TopKClosestPairs",
     "ClosestPairsOutcome",
+    "JoinPlan",
+    "JoinSpec",
+    "available_joins",
+    "dataset_fingerprint",
+    "get_join",
+    "plan_join",
+    "run_join",
+    "run_join_plans",
     "make_algorithm",
 ]
 
+#: registry name -> historical driver class (the deprecation shims)
+_ALGORITHM_CLASSES = {
+    "pgbj": PGBJ,
+    "pbj": PBJ,
+    "hbrj": HBRJ,
+    "broadcast": BroadcastJoin,
+    "ijoin": IJoinBlock,
+    "zorder": ZOrderKnnJoin,
+}
+
 
 def make_algorithm(name: str, config: JoinConfig) -> KnnJoinAlgorithm:
-    """Instantiate an algorithm by report name, wrapping config as needed."""
-    name = name.lower()
-    if name == "pgbj":
-        if not isinstance(config, PgbjConfig):
-            raise TypeError("PGBJ requires a PgbjConfig")
-        return PGBJ(config)
-    if name == "pbj":
-        if not isinstance(config, BlockJoinConfig):
-            raise TypeError("PBJ requires a BlockJoinConfig")
-        return PBJ(config)
-    if name == "hbrj":
-        if not isinstance(config, BlockJoinConfig):
-            raise TypeError("H-BRJ requires a BlockJoinConfig")
-        return HBRJ(config)
-    if name == "broadcast":
-        return BroadcastJoin(config)
-    if name == "ijoin":
-        if not isinstance(config, BlockJoinConfig):
-            raise TypeError("iJoin requires a BlockJoinConfig")
-        return IJoinBlock(config)
-    raise ValueError(
-        f"unknown algorithm {name!r}; available: pgbj, pbj, hbrj, broadcast, ijoin"
-    )
+    """Instantiate an algorithm by report name (deprecated shim).
+
+    Kept for source compatibility; new code should call :func:`run_join`
+    (or :func:`get_join` for the registry row).  Raises the historical
+    ``TypeError`` when the config class does not match the algorithm.
+    """
+    spec = get_join(name)
+    algorithm_class = _ALGORITHM_CLASSES.get(spec.name)
+    if algorithm_class is None:
+        raise ValueError(
+            f"{spec.name} is an operator, not a kNN join; use run_join({spec.name!r}, ...)"
+        )
+    if not isinstance(config, spec.config_class):
+        raise TypeError(
+            f"{algorithm_class.__name__} requires a {spec.config_class.__name__}"
+        )
+    return algorithm_class(config)

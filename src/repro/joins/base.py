@@ -22,10 +22,18 @@ from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engines import DEFAULT_ENGINE, Executor, available_engines
 from repro.mapreduce.hdfs import DistributedFileSystem
+from repro.mapreduce.plan import PlanCache
 from repro.mapreduce.runtime import LocalRuntime
 from repro.mapreduce.stats import JobStats
 
-__all__ = ["JoinConfig", "PgbjConfig", "BlockJoinConfig", "JoinOutcome", "KnnJoinAlgorithm"]
+__all__ = [
+    "JoinConfig",
+    "PgbjConfig",
+    "BlockJoinConfig",
+    "JoinOutcome",
+    "KnnJoinAlgorithm",
+    "StageStats",
+]
 
 #: counter group/name used by every task that computes object distances
 PAIRS_GROUP = "selectivity"
@@ -63,6 +71,23 @@ class JoinConfig:
     this config makes will reuse — the way a multi-join pipeline keeps one
     persistent pool warm across *driver runs*.  The caller owns its
     lifecycle; drivers close only runtimes whose executor they created.
+    Like every injected-resource field it is carried *by reference* through
+    :meth:`with_changes` (``dataclasses.replace`` re-passes the same object,
+    it never copies it), so a sweep of derived configs shares one pool —
+    and must close it exactly once, itself, when the sweep ends.
+
+    ``plan_concurrency`` lets the :class:`~repro.mapreduce.plan.PlanScheduler`
+    run independent stages of the join's :class:`~repro.mapreduce.plan.JobGraph`
+    concurrently (the default; ``False`` is the ``--no-plan-concurrency``
+    escape hatch forcing strict declaration order).  Both settings produce
+    bit-identical results, counters and shuffle accounting.
+
+    ``plan_cache`` (optional, injected like ``shared_executor`` and likewise
+    carried by reference across :meth:`with_changes`) memoizes content-keyed
+    plan stages across runs: a sweep holding one
+    :class:`~repro.mapreduce.plan.PlanCache` re-executes only the stages
+    whose inputs changed — e.g. one PGBJ partitioning job shared by a whole
+    k-sweep.
     """
 
     k: int = 10
@@ -74,7 +99,9 @@ class JoinConfig:
     max_workers: int | None = None
     memory_budget: int | None = None
     spill_dir: str | None = None
+    plan_concurrency: bool = True
     shared_executor: Executor | None = field(default=None, compare=False, repr=False)
+    plan_cache: PlanCache | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -99,7 +126,16 @@ class JoinConfig:
         return self.memory_budget is not None or self.spill_dir is not None
 
     def with_changes(self, **kwargs) -> "JoinConfig":
-        """A copy with some fields replaced (sweep helper)."""
+        """A copy with some fields replaced (sweep helper).
+
+        Injected resources (``shared_executor``, ``plan_cache``) are carried
+        into the copy **by reference** — ``dataclasses.replace`` re-invokes
+        the constructor with the same objects, never deep-copying them — so
+        every config of a sweep drives the same warm pool and the same stage
+        cache.  Ownership does not move either: drivers never close a shared
+        executor (only runtimes they built pools for), so a sweep closes its
+        pool exactly once, after the last run.
+        """
         return replace(self, **kwargs)
 
     def make_runtime(self, **runtime_kwargs) -> LocalRuntime:
@@ -154,6 +190,16 @@ class JoinConfig:
         """
         return self.make_dfs() if self.out_of_core else nullcontext()
 
+    def chain_dfs(self):
+        """The :meth:`make_chain_dfs` value in plan-resource form.
+
+        Plan builders register the returned object with
+        ``graph.resource(...)`` (which ignores ``None``) and hand the same
+        object to ``chain_splits``: a segment-backed DFS for out-of-core
+        configs, ``None`` — chain in RAM — otherwise.
+        """
+        return self.make_dfs() if self.out_of_core else None
+
 
 @dataclass
 class PgbjConfig(JoinConfig):
@@ -200,9 +246,51 @@ class BlockJoinConfig(JoinConfig):
         return max(1, int(np.sqrt(self.num_reducers)))
 
 
+class StageStats(list):
+    """Per-job :class:`JobStats` keyed by stable stage name, still a list.
+
+    The plan-built joins attach one entry per executed stage, named after
+    the plan stage that ran it (``"pgbj/partition"``, ``"pgbj/join"``, …).
+    Positional consumers keep working unchanged — iteration order and
+    integer indexing are exactly the submission-order list the drivers have
+    always produced — while ``outcome.job_stats["pgbj/partition"]`` (or
+    :meth:`named` / :meth:`as_dict`) addresses a stage without counting
+    list positions.
+    """
+
+    def __init__(self, stats=(), names: tuple[str, ...] | list[str] = ()) -> None:
+        super().__init__(stats)
+        self.names = tuple(names)
+        if self.names and len(self.names) != len(self):
+            raise ValueError(
+                f"{len(self)} stats entries but {len(self.names)} stage names"
+            )
+
+    def named(self, name: str) -> JobStats:
+        """The stats of the stage with that name (KeyError if absent)."""
+        for stage_name, stats in zip(self.names, self):
+            if stage_name == name:
+                return stats
+        raise KeyError(f"no stage named {name!r}; stages: {list(self.names)}")
+
+    def as_dict(self) -> dict[str, JobStats]:
+        """Stage name -> stats, in submission order."""
+        return dict(zip(self.names, self))
+
+    def __getitem__(self, key):
+        if isinstance(key, str):
+            return self.named(key)
+        return super().__getitem__(key)
+
+
 @dataclass
 class JoinOutcome:
-    """A completed join with the paper's three measurements attached."""
+    """A completed join with the paper's three measurements attached.
+
+    ``job_stats`` lists one :class:`JobStats` per executed MapReduce job in
+    submission order; plan-built outcomes use :class:`StageStats`, which
+    additionally keys each entry by its stable stage name.
+    """
 
     algorithm: str
     result: KnnJoinResult

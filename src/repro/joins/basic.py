@@ -18,6 +18,7 @@ from repro.core.knn import select_k_smallest
 from repro.core.result import KnnJoinResult
 from repro.mapreduce.job import BlockBufferingMapper, Context, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
+from repro.mapreduce.plan import JobGraph
 from repro.mapreduce.splits import dataset_splits
 from repro.mapreduce.types import RecordBlock
 
@@ -29,10 +30,12 @@ from .base import (
     JoinConfig,
     JoinOutcome,
     KnnJoinAlgorithm,
+    StageStats,
 )
 from .block_framework import block_of_ids
+from .registry import JoinPlan, JoinSpec, register_join, run_join
 
-__all__ = ["BroadcastJoin"]
+__all__ = ["BroadcastJoin", "plan_broadcast"]
 
 #: rows of R per distance-matrix chunk in the reducer (bounds peak memory)
 _SCAN_CHUNK = 256
@@ -95,15 +98,13 @@ class BroadcastReducer(Reducer):
         return ()
 
 
-class BroadcastJoin(KnnJoinAlgorithm):
-    """Single-job broadcast kNN join — simple, correct, expensive."""
+def plan_broadcast(r: Dataset, s: Dataset, config: JoinConfig) -> JoinPlan:
+    """Plan the single-stage broadcast join (``broadcast/join``)."""
+    KnnJoinAlgorithm._check_inputs(r, s, config.k)
+    graph = JobGraph("broadcast")
 
-    name = "broadcast"
-
-    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
-        config = self.config
-        self._check_inputs(r, s, config.k)
-        job_spec = MapReduceJob(
+    def build_join(ctx):
+        job = MapReduceJob(
             name="broadcast-join",
             mapper_factory=BroadcastMapper,
             reducer_factory=BroadcastReducer,
@@ -111,22 +112,47 @@ class BroadcastJoin(KnnJoinAlgorithm):
             num_reducers=config.num_reducers,
             cache={"metric_name": config.metric_name, "k": config.k},
         )
-        with config.make_runtime() as runtime:
-            job = runtime.run(job_spec, dataset_splits(r, s, config.split_size))
+        return job, dataset_splits(r, s, config.split_size)
 
+    join = graph.stage("broadcast/join", build_join)
+    stage_names = (join.name,)
+
+    def assemble(run) -> JoinOutcome:
+        job = run.result_of(join)
         result = KnnJoinResult(config.k)
         for r_id, (ids, dists) in job.outputs:
             result.add(r_id, ids, dists)
         outcome = JoinOutcome(
-            algorithm=self.name,
+            algorithm="broadcast",
             result=result,
             r_size=len(r),
             s_size=len(s),
             k=config.k,
             master_phases={},
-            job_stats=[job.stats],
+            job_stats=StageStats([job.stats], names=stage_names),
             job_phase_names=["knn_join"],
             master_distance_pairs=0,
         )
         outcome.counters.merge(job.counters)
         return outcome
+
+    return JoinPlan(graph=graph, assemble=assemble)
+
+
+class BroadcastJoin(KnnJoinAlgorithm):
+    """Single-job broadcast kNN join — thin shim over ``run_join``."""
+
+    name = "broadcast"
+
+    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
+        return run_join(self.name, r, s, self.config)
+
+
+register_join(
+    JoinSpec(
+        name="broadcast",
+        config_class=JoinConfig,
+        plan=plan_broadcast,
+        summary="naive |R| + N*|S| broadcast upper bound (correctness anchor)",
+    )
+)

@@ -29,6 +29,7 @@ __all__ = [
     "CandidateMergeMapper",
     "CandidateMergeReducer",
     "chain_splits",
+    "merge_job_spec",
     "run_merge_job",
 ]
 
@@ -139,21 +140,15 @@ def chain_splits(
     return dfs.splits(name)
 
 
-def run_merge_job(
-    candidates: list,
-    config: JoinConfig,
-    runtime: LocalRuntime,
-    dfs: DistributedFileSystem | None = None,
-) -> JobResult:
-    """Second job of the block framework: merge partial candidate lists.
+def merge_job_spec(config: JoinConfig) -> MapReduceJob:
+    """Spec of the block framework's second job: merge partial candidates.
 
-    ``candidates`` is the first job's output — ``(r_id, (ids, dists))`` pairs
-    — whose records make up this job's (counted) shuffle traffic, matching
-    the ``sum |R_i knn-join S_j|`` term of the paper's cost analysis.  With a
-    ``dfs`` the candidate lists are staged there (out-of-core drivers pass a
-    segment-backed one) instead of being sliced in RAM.
+    Its input — the first job's ``(r_id, (ids, dists))`` pairs — makes up
+    this job's (counted) shuffle traffic, matching the
+    ``sum |R_i knn-join S_j|`` term of the paper's cost analysis.  Plan
+    builders pair it with ``chain_splits`` over the upstream stage's output.
     """
-    job = MapReduceJob(
+    return MapReduceJob(
         name="merge-candidates",
         mapper_factory=CandidateMergeMapper,
         reducer_factory=CandidateMergeReducer,
@@ -161,7 +156,19 @@ def run_merge_job(
         num_reducers=config.num_reducers,
         cache={"k": config.k},
     )
-    return runtime.run(job, chain_splits(config, dfs, "merge-input", candidates))
+
+
+def run_merge_job(
+    candidates: list,
+    config: JoinConfig,
+    runtime: LocalRuntime,
+    dfs: DistributedFileSystem | None = None,
+) -> JobResult:
+    """Run the merge job over materialized candidates (test seam; the
+    drivers plan it as a graph stage via :func:`merge_job_spec`)."""
+    return runtime.run(
+        merge_job_spec(config), chain_splits(config, dfs, "merge-input", candidates)
+    )
 
 
 def block_join_spec(

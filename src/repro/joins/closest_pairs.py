@@ -4,15 +4,17 @@ The paper's related work singles out the *parallel top-k similarity join* —
 "extract k closest object pairs from two input datasets" — as the special
 case of the kNN join.  This operator implements it on the same substrate:
 
-1. both datasets are pivot-partitioned (first job, shared with PGBJ/PBJ);
+1. both datasets are pivot-partitioned (the shared, content-keyed
+   ``partition`` stage — the same plan prefix PGBJ and PBJ reuse);
 2. block reducers compute their local kNN join with the Algorithm 3 kernel
    and emit only their k *globally smallest* candidate pairs — any global
    top-k pair (r, s) meets in exactly one block and there appears among r's
    local k nearest, so the union of local top-k lists covers the answer;
 3. a single-reducer merge job keeps the k smallest pairs overall.
 
-Self-joins may exclude the trivial zero-distance identity pairs via
-``exclude_self``.
+Planned as ``closest-pairs/partition`` → ``closest-pairs/block`` →
+``closest-pairs/merge``.  Self-joins may exclude the trivial zero-distance
+identity pairs via ``exclude_self``.
 """
 
 from __future__ import annotations
@@ -26,6 +28,8 @@ from repro.core.distance import get_metric
 from repro.core.partition import VoronoiPartitioner
 from repro.mapreduce.job import Context, MapReduceJob, Mapper, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
+from repro.mapreduce.plan import JobGraph
+
 from .base import PAIRS_GROUP, PAIRS_NAME, BlockJoinConfig
 from .block_framework import block_join_spec, chain_splits
 from .kernels import (
@@ -34,11 +38,10 @@ from .kernels import (
     local_ring_stats,
     local_theta,
 )
-from .partition_job import run_partitioning_job
-from .pbj import _pivot_view
-from .pgbj import make_pivot_selector
+from .partition_job import partition_stage
+from .registry import JoinPlan, JoinSpec, register_join, run_join
 
-__all__ = ["TopKClosestPairs", "ClosestPairsOutcome"]
+__all__ = ["TopKClosestPairs", "ClosestPairsOutcome", "plan_closest_pairs"]
 
 
 class ClosestPairsBlockReducer(Reducer):
@@ -117,8 +120,79 @@ class ClosestPairsOutcome:
         return self.distance_pairs / (self._r_size * self._s_size)
 
 
+def plan_closest_pairs(
+    r: Dataset, s: Dataset, config: BlockJoinConfig, exclude_self: bool = False
+) -> JoinPlan:
+    """Plan the distributed top-k closest-pairs operator."""
+    if config.k > len(r) * len(s):
+        raise ValueError("k exceeds |R| x |S|")
+    graph = JobGraph("closest-pairs")
+    dfs = graph.resource(config.chain_dfs())
+    state: dict = {}
+
+    partition = partition_stage(
+        graph, r, s, config, min(config.num_pivots, len(r)), state
+    )
+
+    def build_block(ctx):
+        job1 = ctx.result_of(partition)
+        pdm = VoronoiPartitioner(state["pivots"], state["metric"]).pivot_distance_matrix()
+        # Coverage: a global top-k pair (r, s) appears among r's local k
+        # nearest in its block (fewer than k better pairs exist anywhere).
+        # Excluding identity pairs costs one slot per r, hence k + 1.
+        kernel_k = min(config.k + (1 if exclude_self else 0), len(s))
+        job2 = block_join_spec(
+            name="closest-pairs-block",
+            reducer_factory=ClosestPairsBlockReducer,
+            num_blocks=config.num_blocks,
+            cache={
+                "metric_name": config.metric_name,
+                "k": kernel_k,
+                "pivots": state["pivots"],
+                "pivot_dist_matrix": pdm,
+                "exclude_self": exclude_self,
+            },
+        )
+        return job2, chain_splits(config, dfs, "partitioned", job1.outputs)
+
+    block = graph.stage("closest-pairs/block", build_block, deps=(partition,))
+
+    def build_merge(ctx):
+        job2 = ctx.result_of(block)
+        job3 = MapReduceJob(
+            name="closest-pairs-merge",
+            mapper_factory=PairMergeMapper,
+            reducer_factory=PairMergeReducer,
+            partitioner=ModPartitioner(),
+            num_reducers=1,
+            cache={"k": config.k},
+        )
+        return job3, chain_splits(config, dfs, "block-pairs", job2.outputs)
+
+    merge = graph.stage("closest-pairs/merge", build_merge, deps=(block,))
+
+    def assemble(run) -> ClosestPairsOutcome:
+        jobs = [run.result_of(stage) for stage in (partition, block, merge)]
+        pairs = [
+            (int(r_id), int(s_id), float(dist))
+            for (r_id, s_id), dist in jobs[-1].outputs
+        ]
+        distance_pairs = state["metric"].pairs_computed
+        for job in jobs:
+            distance_pairs += job.counters.value(PAIRS_GROUP, PAIRS_NAME)
+        return ClosestPairsOutcome(
+            pairs=pairs,
+            distance_pairs=distance_pairs,
+            shuffle_bytes=jobs[1].stats.shuffle_bytes + jobs[2].stats.shuffle_bytes,
+            r_size=len(r),
+            s_size=len(s),
+        )
+
+    return JoinPlan(graph=graph, assemble=assemble)
+
+
 class TopKClosestPairs:
-    """Distributed top-k closest-pairs operator."""
+    """Distributed top-k closest-pairs operator — shim over ``run_join``."""
 
     def __init__(self, config: BlockJoinConfig, exclude_self: bool = False) -> None:
         self.config = config
@@ -126,64 +200,17 @@ class TopKClosestPairs:
 
     def run(self, r: Dataset, s: Dataset) -> ClosestPairsOutcome:
         """The k closest (r, s) pairs across the full cross product."""
-        config = self.config
-        if config.k > len(r) * len(s):
-            raise ValueError("k exceeds |R| x |S|")
-        rng = np.random.default_rng(config.seed)
-        master_metric = get_metric(config.metric_name)
-
-        selector = make_pivot_selector(_pivot_view(config))
-        pivots = selector.select(
-            r, min(config.num_pivots, len(r)), master_metric, rng
+        return run_join(
+            "closest-pairs", r, s, self.config, exclude_self=self.exclude_self
         )
-        # one runtime (one warm pool under pooled engines) for all three jobs
-        with config.make_runtime() as runtime, config.make_chain_dfs() as dfs:
-            job1 = run_partitioning_job(r, s, pivots, config, runtime)
-            pdm = VoronoiPartitioner(pivots, master_metric).pivot_distance_matrix()
 
-            # Coverage: a global top-k pair (r, s) appears among r's local k
-            # nearest in its block (fewer than k better pairs exist anywhere).
-            # Excluding identity pairs costs one slot per r, hence k + 1.
-            kernel_k = min(config.k + (1 if self.exclude_self else 0), len(s))
-            job2_spec = block_join_spec(
-                name="closest-pairs-block",
-                reducer_factory=ClosestPairsBlockReducer,
-                num_blocks=config.num_blocks,
-                cache={
-                    "metric_name": config.metric_name,
-                    "k": kernel_k,
-                    "pivots": pivots,
-                    "pivot_dist_matrix": pdm,
-                    "exclude_self": self.exclude_self,
-                },
-            )
-            job2 = runtime.run(
-                job2_spec, chain_splits(config, dfs, "partitioned", job1.outputs)
-            )
 
-            merge_spec = MapReduceJob(
-                name="closest-pairs-merge",
-                mapper_factory=PairMergeMapper,
-                reducer_factory=PairMergeReducer,
-                partitioner=ModPartitioner(),
-                num_reducers=1,
-                cache={"k": config.k},
-            )
-            job3 = runtime.run(
-                merge_spec, chain_splits(config, dfs, "block-pairs", job2.outputs)
-            )
-
-        pairs = [
-            (int(r_id), int(s_id), float(dist))
-            for (r_id, s_id), dist in job3.outputs
-        ]
-        distance_pairs = master_metric.pairs_computed
-        for job in (job1, job2, job3):
-            distance_pairs += job.counters.value(PAIRS_GROUP, PAIRS_NAME)
-        return ClosestPairsOutcome(
-            pairs=pairs,
-            distance_pairs=distance_pairs,
-            shuffle_bytes=job2.stats.shuffle_bytes + job3.stats.shuffle_bytes,
-            r_size=len(r),
-            s_size=len(s),
-        )
+register_join(
+    JoinSpec(
+        name="closest-pairs",
+        config_class=BlockJoinConfig,
+        plan=plan_closest_pairs,
+        kind="operator",
+        summary="parallel top-k similarity join (k closest pairs) on the shared substrate",
+    )
+)

@@ -7,6 +7,8 @@ intermediate nodes in a priority queue"); a second job merges the per-block
 candidates.  No pivots, no partitioning job — but also no cross-reducer
 pruning, which is why its selectivity and shuffle grow with k, dimensionality
 and node count in the paper's figures.
+
+Planned as the two-stage chain ``hbrj/block-join`` → ``hbrj/merge``.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from repro.core.dataset import Dataset
 from repro.core.distance import get_metric
 from repro.core.result import KnnJoinResult
 from repro.mapreduce.job import Context, Reducer
+from repro.mapreduce.plan import JobGraph
 from repro.mapreduce.splits import dataset_splits
 from repro.mapreduce.types import RecordBlock
 from repro.rtree import RTree
@@ -27,10 +30,12 @@ from .base import (
     BlockJoinConfig,
     JoinOutcome,
     KnnJoinAlgorithm,
+    StageStats,
 )
-from .block_framework import block_join_spec, run_merge_job
+from .block_framework import block_join_spec, chain_splits, merge_job_spec
+from .registry import JoinPlan, JoinSpec, register_join, run_join
 
-__all__ = ["HBRJ"]
+__all__ = ["HBRJ", "plan_hbrj"]
 
 
 class HbrjJoinReducer(Reducer):
@@ -60,19 +65,15 @@ class HbrjJoinReducer(Reducer):
         return ()
 
 
-class HBRJ(KnnJoinAlgorithm):
-    """The comparison baseline of the paper's evaluation."""
+def plan_hbrj(r: Dataset, s: Dataset, config: BlockJoinConfig) -> JoinPlan:
+    """Plan the comparison baseline of the paper's evaluation."""
+    KnnJoinAlgorithm._check_inputs(r, s, config.k)
+    graph = JobGraph("hbrj")
+    # out-of-core configs stage the candidate lists between the stages on disk
+    dfs = graph.resource(config.chain_dfs())
 
-    name = "hbrj"
-
-    def __init__(self, config: BlockJoinConfig) -> None:
-        super().__init__(config)
-        self.config: BlockJoinConfig = config
-
-    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
-        config = self.config
-        self._check_inputs(r, s, config.k)
-        job1_spec = block_join_spec(
+    def build_block_join(ctx):
+        job = block_join_spec(
             name="hbrj-block-join",
             reducer_factory=HbrjJoinReducer,
             num_blocks=config.num_blocks,
@@ -82,26 +83,60 @@ class HBRJ(KnnJoinAlgorithm):
                 "rtree_capacity": config.rtree_capacity,
             },
         )
-        # one runtime (one warm pool under the pooled engines) for both jobs;
-        # out-of-core configs stage the candidate lists between them on disk
-        with config.make_runtime() as runtime, config.make_chain_dfs() as dfs:
-            job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
-            job2 = run_merge_job(job1.outputs, config, runtime, dfs=dfs)
+        return job, dataset_splits(r, s, config.split_size)
 
+    block_join = graph.stage("hbrj/block-join", build_block_join)
+
+    def build_merge(ctx):
+        job1 = ctx.result_of(block_join)
+        return merge_job_spec(config), chain_splits(
+            config, dfs, "merge-input", job1.outputs
+        )
+
+    merge = graph.stage("hbrj/merge", build_merge, deps=(block_join,))
+    stage_names = (block_join.name, merge.name)
+
+    def assemble(run) -> JoinOutcome:
+        job1, job2 = run.result_of(block_join), run.result_of(merge)
         result = KnnJoinResult(config.k)
         for r_id, (ids, dists) in job2.outputs:
             result.add(r_id, ids, dists)
         outcome = JoinOutcome(
-            algorithm=self.name,
+            algorithm="hbrj",
             result=result,
             r_size=len(r),
             s_size=len(s),
             k=config.k,
             master_phases={},
-            job_stats=[job1.stats, job2.stats],
+            job_stats=StageStats([job1.stats, job2.stats], names=stage_names),
             job_phase_names=["knn_join", "merge"],
             master_distance_pairs=0,
         )
         outcome.counters.merge(job1.counters)
         outcome.counters.merge(job2.counters)
         return outcome
+
+    return JoinPlan(graph=graph, assemble=assemble)
+
+
+class HBRJ(KnnJoinAlgorithm):
+    """The R-tree baseline — thin shim over ``run_join("hbrj")``."""
+
+    name = "hbrj"
+
+    def __init__(self, config: BlockJoinConfig) -> None:
+        super().__init__(config)
+        self.config: BlockJoinConfig = config
+
+    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
+        return run_join(self.name, r, s, self.config)
+
+
+register_join(
+    JoinSpec(
+        name="hbrj",
+        config_class=BlockJoinConfig,
+        plan=plan_hbrj,
+        summary="R-tree block-join baseline (no pivots, no cross-reducer pruning)",
+    )
+)

@@ -10,6 +10,8 @@ ring search; the standard merge job combines the per-block candidates.
 Together with H-BRJ (R-tree) and PBJ (summary-bound kernel) this completes a
 three-way comparison of reducer-side index structures on identical shuffles
 (`benchmarks/bench_ext_reducer_index.py`).
+
+Planned as the two-stage chain ``ijoin/block-join`` → ``ijoin/merge``.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from repro.core.distance import get_metric
 from repro.core.result import KnnJoinResult
 from repro.idistance import IDistanceIndex
 from repro.mapreduce.job import Context, Reducer
+from repro.mapreduce.plan import JobGraph
 from repro.mapreduce.splits import dataset_splits
 from repro.mapreduce.types import RecordBlock
 
@@ -30,10 +33,12 @@ from .base import (
     BlockJoinConfig,
     JoinOutcome,
     KnnJoinAlgorithm,
+    StageStats,
 )
-from .block_framework import block_join_spec, run_merge_job
+from .block_framework import block_join_spec, chain_splits, merge_job_spec
+from .registry import JoinPlan, JoinSpec, register_join, run_join
 
-__all__ = ["IJoinBlock"]
+__all__ = ["IJoinBlock", "plan_ijoin"]
 
 
 class IJoinBlockReducer(Reducer):
@@ -67,19 +72,15 @@ class IJoinBlockReducer(Reducer):
         return ()
 
 
-class IJoinBlock(KnnJoinAlgorithm):
-    """H-BRJ's framework with iDistance in place of the R-tree."""
+def plan_ijoin(r: Dataset, s: Dataset, config: BlockJoinConfig) -> JoinPlan:
+    """Plan H-BRJ's framework with iDistance in place of the R-tree."""
+    KnnJoinAlgorithm._check_inputs(r, s, config.k)
+    graph = JobGraph("ijoin")
+    # out-of-core configs stage the candidate lists between the stages on disk
+    dfs = graph.resource(config.chain_dfs())
 
-    name = "ijoin"
-
-    def __init__(self, config: BlockJoinConfig) -> None:
-        super().__init__(config)
-        self.config: BlockJoinConfig = config
-
-    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
-        config = self.config
-        self._check_inputs(r, s, config.k)
-        job1_spec = block_join_spec(
+    def build_block_join(ctx):
+        job = block_join_spec(
             name="ijoin-block-join",
             reducer_factory=IJoinBlockReducer,
             num_blocks=config.num_blocks,
@@ -92,26 +93,60 @@ class IJoinBlock(KnnJoinAlgorithm):
                 "seed": config.seed,
             },
         )
-        # one runtime (one warm pool under the pooled engines) for both jobs;
-        # out-of-core configs stage the candidate lists between them on disk
-        with config.make_runtime() as runtime, config.make_chain_dfs() as dfs:
-            job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
-            job2 = run_merge_job(job1.outputs, config, runtime, dfs=dfs)
+        return job, dataset_splits(r, s, config.split_size)
 
+    block_join = graph.stage("ijoin/block-join", build_block_join)
+
+    def build_merge(ctx):
+        job1 = ctx.result_of(block_join)
+        return merge_job_spec(config), chain_splits(
+            config, dfs, "merge-input", job1.outputs
+        )
+
+    merge = graph.stage("ijoin/merge", build_merge, deps=(block_join,))
+    stage_names = (block_join.name, merge.name)
+
+    def assemble(run) -> JoinOutcome:
+        job1, job2 = run.result_of(block_join), run.result_of(merge)
         result = KnnJoinResult(config.k)
         for r_id, (ids, dists) in job2.outputs:
             result.add(r_id, ids, dists)
         outcome = JoinOutcome(
-            algorithm=self.name,
+            algorithm="ijoin",
             result=result,
             r_size=len(r),
             s_size=len(s),
             k=config.k,
             master_phases={},
-            job_stats=[job1.stats, job2.stats],
+            job_stats=StageStats([job1.stats, job2.stats], names=stage_names),
             job_phase_names=["knn_join", "merge"],
             master_distance_pairs=0,
         )
         outcome.counters.merge(job1.counters)
         outcome.counters.merge(job2.counters)
         return outcome
+
+    return JoinPlan(graph=graph, assemble=assemble)
+
+
+class IJoinBlock(KnnJoinAlgorithm):
+    """iDistance block join — thin shim over ``run_join("ijoin")``."""
+
+    name = "ijoin"
+
+    def __init__(self, config: BlockJoinConfig) -> None:
+        super().__init__(config)
+        self.config: BlockJoinConfig = config
+
+    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
+        return run_join(self.name, r, s, self.config)
+
+
+register_join(
+    JoinSpec(
+        name="ijoin",
+        config_class=BlockJoinConfig,
+        plan=plan_ijoin,
+        summary="block framework with an iDistance (B+-tree style) reducer index",
+    )
+)

@@ -10,11 +10,14 @@ arrives in a reducer annotated with its Voronoi cell and pivot distance; the
 reducer recomputes the theta bound and the ring statistics *locally* over the
 random slice of S it received.  That randomness makes the local bounds loose
 — the paper's stated reason PBJ sits between H-BRJ and PGBJ.
+
+Planned as a three-stage chain ``pbj/partition`` → ``pbj/block-join`` →
+``pbj/merge``; the partition stage is the same content-keyed stage PGBJ
+plans, so a sweep (or a fused PGBJ+PBJ run) holding a
+:class:`~repro.mapreduce.plan.PlanCache` partitions once.
 """
 
 from __future__ import annotations
-
-import time
 
 import numpy as np
 
@@ -23,6 +26,7 @@ from repro.core.distance import get_metric
 from repro.core.partition import VoronoiPartitioner
 from repro.core.result import KnnJoinResult
 from repro.mapreduce.job import Context, Reducer
+from repro.mapreduce.plan import JobGraph
 
 from .base import (
     PAIRS_GROUP,
@@ -30,18 +34,19 @@ from .base import (
     BlockJoinConfig,
     JoinOutcome,
     KnnJoinAlgorithm,
+    StageStats,
 )
-from .block_framework import block_join_spec, chain_splits, run_merge_job
+from .block_framework import block_join_spec, chain_splits, merge_job_spec
 from .kernels import (
     build_partition_blocks,
     knn_join_kernel,
     local_ring_stats,
     local_theta,
 )
-from .partition_job import run_partitioning_job
-from .pgbj import make_pivot_selector
+from .partition_job import partition_stage
+from .registry import JoinPlan, JoinSpec, register_join, run_join
 
-__all__ = ["PBJ"]
+__all__ = ["PBJ", "plan_pbj"]
 
 
 class PbjJoinReducer(Reducer):
@@ -79,8 +84,69 @@ class PbjJoinReducer(Reducer):
         return ()
 
 
+def plan_pbj(r: Dataset, s: Dataset, config: BlockJoinConfig) -> JoinPlan:
+    """Plan PBJ: shared partition stage, block join, candidate merge."""
+    KnnJoinAlgorithm._check_inputs(r, s, config.k)
+    graph = JobGraph("pbj")
+    # out-of-core configs stage both intermediates on disk
+    dfs = graph.resource(config.chain_dfs())
+    state: dict = {}
+
+    partition = partition_stage(graph, r, s, config, config.num_pivots, state)
+
+    def build_block_join(ctx):
+        job1 = ctx.result_of(partition)
+        # pivot distance matrix, broadcast to the join reducers
+        pdm = VoronoiPartitioner(state["pivots"], state["metric"]).pivot_distance_matrix()
+        job2 = block_join_spec(
+            name="pbj-block-join",
+            reducer_factory=PbjJoinReducer,
+            num_blocks=config.num_blocks,
+            cache={
+                "metric_name": config.metric_name,
+                "k": config.k,
+                "pivots": state["pivots"],
+                "pivot_dist_matrix": pdm,
+            },
+        )
+        return job2, chain_splits(config, dfs, "partitioned", job1.outputs)
+
+    block_join = graph.stage("pbj/block-join", build_block_join, deps=(partition,))
+
+    def build_merge(ctx):
+        job2 = ctx.result_of(block_join)
+        return merge_job_spec(config), chain_splits(
+            config, dfs, "merge-input", job2.outputs
+        )
+
+    merge = graph.stage("pbj/merge", build_merge, deps=(block_join,))
+    stage_names = (partition.name, block_join.name, merge.name)
+
+    def assemble(run) -> JoinOutcome:
+        jobs = [run.result_of(stage) for stage in (partition, block_join, merge)]
+        result = KnnJoinResult(config.k)
+        for r_id, (ids, dists) in jobs[-1].outputs:
+            result.add(r_id, ids, dists)
+        outcome = JoinOutcome(
+            algorithm="pbj",
+            result=result,
+            r_size=len(r),
+            s_size=len(s),
+            k=config.k,
+            master_phases=run.phases_of((partition, block_join, merge)),
+            job_stats=StageStats([job.stats for job in jobs], names=stage_names),
+            job_phase_names=["data_partitioning", "knn_join", "merge"],
+            master_distance_pairs=state["metric"].pairs_computed,
+        )
+        for job in jobs:
+            outcome.counters.merge(job.counters)
+        return outcome
+
+    return JoinPlan(graph=graph, assemble=assemble)
+
+
 class PBJ(KnnJoinAlgorithm):
-    """Partitioning-Based Join: PGBJ's pruning without grouping."""
+    """Partitioning-Based Join — thin shim over ``run_join("pbj")``."""
 
     name = "pbj"
 
@@ -89,79 +155,14 @@ class PBJ(KnnJoinAlgorithm):
         self.config: BlockJoinConfig = config
 
     def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
-        config = self.config
-        self._check_inputs(r, s, config.k)
-        rng = np.random.default_rng(config.seed)
-        master_metric = self._master_metric()
-        phases: dict[str, float] = {}
-
-        # pivot selection, exactly as PGBJ's preprocessing
-        started = time.perf_counter()
-        pgbj_like = _pivot_view(config)
-        selector = make_pivot_selector(pgbj_like)
-        pivots = selector.select(r, config.num_pivots, master_metric, rng)
-        phases["pivot_selection"] = time.perf_counter() - started
-
-        # one runtime (one warm pool under pooled engines) for all three jobs;
-        # out-of-core configs stage both intermediates on disk
-        with config.make_runtime() as runtime, config.make_chain_dfs() as dfs:
-            # first job: annotate every object with cell id + pivot distance
-            job1 = run_partitioning_job(r, s, pivots, config, runtime)
-
-            # pivot distance matrix, broadcast to the join reducers
-            partitioner = VoronoiPartitioner(pivots, master_metric)
-            pdm = partitioner.pivot_distance_matrix()
-
-            # second job: block join with locally derived bounds
-            job2_spec = block_join_spec(
-                name="pbj-block-join",
-                reducer_factory=PbjJoinReducer,
-                num_blocks=config.num_blocks,
-                cache={
-                    "metric_name": config.metric_name,
-                    "k": config.k,
-                    "pivots": pivots,
-                    "pivot_dist_matrix": pdm,
-                },
-            )
-            job2 = runtime.run(
-                job2_spec, chain_splits(config, dfs, "partitioned", job1.outputs)
-            )
-
-            # third job: merge the per-block candidate lists
-            job3 = run_merge_job(job2.outputs, config, runtime, dfs=dfs)
-
-        result = KnnJoinResult(config.k)
-        for r_id, (ids, dists) in job3.outputs:
-            result.add(r_id, ids, dists)
-        outcome = JoinOutcome(
-            algorithm=self.name,
-            result=result,
-            r_size=len(r),
-            s_size=len(s),
-            k=config.k,
-            master_phases=phases,
-            job_stats=[job1.stats, job2.stats, job3.stats],
-            job_phase_names=["data_partitioning", "knn_join", "merge"],
-            master_distance_pairs=master_metric.pairs_computed,
-        )
-        for job in (job1, job2, job3):
-            outcome.counters.merge(job.counters)
-        return outcome
+        return run_join(self.name, r, s, self.config)
 
 
-def _pivot_view(config: BlockJoinConfig):
-    """Adapter giving :func:`make_pivot_selector` the fields it reads."""
-    from .base import PgbjConfig
-
-    return PgbjConfig(
-        k=config.k,
-        num_reducers=config.num_reducers,
-        metric_name=config.metric_name,
-        seed=config.seed,
-        split_size=config.split_size,
-        num_pivots=config.num_pivots,
-        pivot_selection=config.pivot_selection,
-        pivot_sample_size=config.pivot_sample_size,
-        random_candidate_sets=config.random_candidate_sets,
+register_join(
+    JoinSpec(
+        name="pbj",
+        config_class=BlockJoinConfig,
+        plan=plan_pbj,
+        summary="PGBJ's pruning kernel inside the sqrt(N) block framework (no grouping)",
     )
+)

@@ -5,14 +5,19 @@ with summary collection → master-side index merging and partition grouping →
 the kNN-join job whose mapper replicates S by the Corollary 2 / Theorem 6
 shipping rule and whose reducer runs the Algorithm 3 kernel.
 
+The pipeline is expressed as a two-stage :class:`~repro.mapreduce.plan.JobGraph`
+(``pgbj/partition`` → ``pgbj/join``): the partition stage is content-keyed
+(and k-independent), so a sweep holding a
+:class:`~repro.mapreduce.plan.PlanCache` re-runs only the join stage; the
+master-side merging/grouping lives in the join stage's builder, where it can
+read the (possibly cached) partition result.
+
 Shuffling cost is ``|R| + alpha * |S|`` — the headline advantage over the
 block-framework baselines — because R is never replicated and every S object
 ships only to the groups whose bound requires it.
 """
 
 from __future__ import annotations
-
-import time
 
 import numpy as np
 
@@ -25,13 +30,8 @@ from repro.core.result import KnnJoinResult
 from repro.grouping import get_grouping_strategy
 from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
+from repro.mapreduce.plan import JobGraph
 from repro.mapreduce.types import RecordBlock
-from repro.pivots import (
-    FarthestPivotSelector,
-    KMeansPivotSelector,
-    PivotSelector,
-    RandomPivotSelector,
-)
 
 from .base import (
     PAIRS_GROUP,
@@ -41,26 +41,13 @@ from .base import (
     JoinOutcome,
     KnnJoinAlgorithm,
     PgbjConfig,
+    StageStats,
 )
 from .kernels import build_partition_blocks, knn_join_kernel
-from .partition_job import merge_summaries, run_partitioning_job
+from .partition_job import make_pivot_selector, merge_summaries, partition_stage
+from .registry import JoinPlan, JoinSpec, register_join, run_join
 
-__all__ = ["PGBJ", "make_pivot_selector"]
-
-
-def make_pivot_selector(config: PgbjConfig) -> PivotSelector:
-    """Instantiate the configured pivot selector with its knobs."""
-    name = config.pivot_selection.lower()
-    if name == "random":
-        return RandomPivotSelector(num_candidate_sets=config.random_candidate_sets)
-    if name == "farthest":
-        return FarthestPivotSelector(sample_size=config.pivot_sample_size)
-    if name == "kmeans":
-        return KMeansPivotSelector(
-            sample_size=config.pivot_sample_size,
-            max_iterations=config.kmeans_iterations,
-        )
-    raise ValueError(f"unknown pivot selection strategy {config.pivot_selection!r}")
+__all__ = ["PGBJ", "plan_pgbj", "make_pivot_selector"]
 
 
 class GroupRoutingMapper(Mapper):
@@ -140,8 +127,84 @@ class PgbjJoinReducer(Reducer):
         return ()
 
 
+def plan_pgbj(r: Dataset, s: Dataset, config: PgbjConfig) -> JoinPlan:
+    """Plan the paper's algorithm (Sections 4-5) as a two-stage graph."""
+    KnnJoinAlgorithm._check_inputs(r, s, config.k)
+    graph = JobGraph("pgbj")
+    # the DFS holds the partitioned intermediate between the stages
+    # (segment-backed on disk for out-of-core configs); it lives for the
+    # plan execution, like the runtime
+    dfs = graph.resource(config.make_dfs())
+    state: dict = {}  # master-side artifacts flowing between stage builders
+
+    partition = partition_stage(graph, r, s, config, config.num_pivots, state)
+
+    def build_join(ctx):
+        job1 = ctx.result_of(partition)
+        # -- master: index merging, theta/LB bounds and partition grouping ----
+        tr, ts, merge_seconds = merge_summaries(job1, config.k)
+        ctx.add_phase("index_merging", merge_seconds)
+        with ctx.timed("partition_grouping"):
+            partitioner = VoronoiPartitioner(state["pivots"], state["metric"])
+            pdm = partitioner.pivot_distance_matrix()
+            thetas = compute_thetas(tr, ts, pdm, config.k)
+            lb_matrix = compute_lb_matrix(tr, pdm, thetas)
+            strategy = get_grouping_strategy(config.grouping)
+            assignment = strategy.group(tr, ts, pdm, lb_matrix, config.num_reducers)
+            lb_group = group_lb_matrix(lb_matrix, assignment.groups)
+        dfs.put("partitioned", job1.outputs)
+        ring_stats = {
+            pid: (ts.get(pid).lower, ts.get(pid).upper) for pid in ts.partition_ids()
+        }
+        job2 = MapReduceJob(
+            name="knn-join",
+            mapper_factory=GroupRoutingMapper,
+            reducer_factory=PgbjJoinReducer,
+            partitioner=ModPartitioner(),
+            num_reducers=config.num_reducers,
+            cache={
+                "partition_to_group": assignment.partition_to_group,
+                "lb_group": lb_group,
+                "metric_name": config.metric_name,
+                "k": config.k,
+                "thetas": thetas,
+                "ring_stats": ring_stats,
+                "pivots": state["pivots"],
+                "pivot_dist_matrix": pdm,
+                "use_hyperplane_pruning": config.use_hyperplane_pruning,
+                "use_ring_pruning": config.use_ring_pruning,
+            },
+        )
+        return job2, dfs.splits("partitioned")
+
+    join = graph.stage("pgbj/join", build_join, deps=(partition,))
+    stage_names = (partition.name, join.name)
+
+    def assemble(run) -> JoinOutcome:
+        job1, job2 = run.result_of(partition), run.result_of(join)
+        result = KnnJoinResult(config.k)
+        for r_id, (ids, dists) in job2.outputs:
+            result.add(r_id, ids, dists)
+        outcome = JoinOutcome(
+            algorithm="pgbj",
+            result=result,
+            r_size=len(r),
+            s_size=len(s),
+            k=config.k,
+            master_phases=run.phases_of((partition, join)),
+            job_stats=StageStats([job1.stats, job2.stats], names=stage_names),
+            job_phase_names=["data_partitioning", "knn_join"],
+            master_distance_pairs=state["metric"].pairs_computed,
+        )
+        outcome.counters.merge(job1.counters)
+        outcome.counters.merge(job2.counters)
+        return outcome
+
+    return JoinPlan(graph=graph, assemble=assemble)
+
+
 class PGBJ(KnnJoinAlgorithm):
-    """The paper's proposed algorithm (Sections 4-5)."""
+    """The paper's proposed algorithm — thin shim over ``run_join("pgbj")``."""
 
     name = "pgbj"
 
@@ -150,80 +213,14 @@ class PGBJ(KnnJoinAlgorithm):
         self.config: PgbjConfig = config
 
     def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
-        config = self.config
-        self._check_inputs(r, s, config.k)
-        rng = np.random.default_rng(config.seed)
-        master_metric = self._master_metric()
-        phases: dict[str, float] = {}
+        return run_join(self.name, r, s, self.config)
 
-        # -- preprocessing: pivot selection on the master ---------------------
-        started = time.perf_counter()
-        selector = make_pivot_selector(config)
-        pivots = selector.select(r, config.num_pivots, master_metric, rng)
-        phases["pivot_selection"] = time.perf_counter() - started
 
-        # one runtime (and, for pooled engines, one warm worker pool) serves
-        # both MapReduce jobs of the pipeline; the DFS holds the partitioned
-        # intermediate between them (segment-backed on disk for out-of-core
-        # configs).  Both close when the join finishes.
-        with config.make_runtime() as runtime, config.make_dfs() as dfs:
-            # -- first job: Voronoi partitioning + summaries ------------------
-            job1 = run_partitioning_job(r, s, pivots, config, runtime)
-            tr, ts, merge_seconds = merge_summaries(job1, config.k)
-            phases["index_merging"] = merge_seconds
-
-            # -- master: theta/LB bounds and partition grouping ---------------
-            started = time.perf_counter()
-            partitioner = VoronoiPartitioner(pivots, master_metric)
-            pdm = partitioner.pivot_distance_matrix()
-            thetas = compute_thetas(tr, ts, pdm, config.k)
-            lb_matrix = compute_lb_matrix(tr, pdm, thetas)
-            strategy = get_grouping_strategy(config.grouping)
-            assignment = strategy.group(tr, ts, pdm, lb_matrix, config.num_reducers)
-            lb_group = group_lb_matrix(lb_matrix, assignment.groups)
-            phases["partition_grouping"] = time.perf_counter() - started
-
-            # -- second job: route by group, join with the Algorithm 3 kernel -
-            dfs.put("partitioned", job1.outputs)
-            ring_stats = {
-                pid: (ts.get(pid).lower, ts.get(pid).upper) for pid in ts.partition_ids()
-            }
-            job2_spec = MapReduceJob(
-                name="knn-join",
-                mapper_factory=GroupRoutingMapper,
-                reducer_factory=PgbjJoinReducer,
-                partitioner=ModPartitioner(),
-                num_reducers=config.num_reducers,
-                cache={
-                    "partition_to_group": assignment.partition_to_group,
-                    "lb_group": lb_group,
-                    "metric_name": config.metric_name,
-                    "k": config.k,
-                    "thetas": thetas,
-                    "ring_stats": ring_stats,
-                    "pivots": pivots,
-                    "pivot_dist_matrix": pdm,
-                    "use_hyperplane_pruning": config.use_hyperplane_pruning,
-                    "use_ring_pruning": config.use_ring_pruning,
-                },
-            )
-            job2 = runtime.run(job2_spec, dfs.splits("partitioned"))
-
-        # -- assemble the outcome ----------------------------------------------
-        result = KnnJoinResult(config.k)
-        for r_id, (ids, dists) in job2.outputs:
-            result.add(r_id, ids, dists)
-        outcome = JoinOutcome(
-            algorithm=self.name,
-            result=result,
-            r_size=len(r),
-            s_size=len(s),
-            k=config.k,
-            master_phases=phases,
-            job_stats=[job1.stats, job2.stats],
-            job_phase_names=["data_partitioning", "knn_join"],
-            master_distance_pairs=master_metric.pairs_computed,
-        )
-        outcome.counters.merge(job1.counters)
-        outcome.counters.merge(job2.counters)
-        return outcome
+register_join(
+    JoinSpec(
+        name="pgbj",
+        config_class=PgbjConfig,
+        plan=plan_pgbj,
+        summary="the paper's algorithm: Voronoi partitioning + grouping + pruning kernel",
+    )
+)

@@ -26,13 +26,15 @@ from repro.core.geometry import PRUNE_EPS, ring_slice
 from repro.core.partition import VoronoiPartitioner
 from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
+from repro.mapreduce.plan import JobGraph
 from repro.mapreduce.splits import records_from_dataset
 
 from .base import PAIRS_GROUP, PAIRS_NAME, JoinConfig
 from .block_framework import chain_splits
 from .kernels import build_s_blocks
+from .registry import JoinPlan, JoinSpec, register_join, run_join
 
-__all__ = ["DistributedRangeSelection", "RangeSelectionOutcome"]
+__all__ = ["DistributedRangeSelection", "RangeSelectionOutcome", "plan_range_selection"]
 
 
 class RangeQueryRoutingMapper(Mapper):
@@ -120,34 +122,31 @@ class RangeSelectionOutcome:
         return self.distance_pairs / max(self._num_queries * self._dataset_size, 1)
 
 
-class DistributedRangeSelection:
-    """Answers many range-selection queries in one MapReduce job.
+def plan_range_selection(
+    dataset: Dataset,
+    queries: Dataset,
+    config: JoinConfig,
+    theta: float = 0.0,
+    num_pivots: int = 32,
+) -> JoinPlan:
+    """Plan the one-stage range-selection operator (``range-selection/select``)."""
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
+    if num_pivots < 1:
+        raise ValueError("num_pivots must be >= 1")
+    graph = JobGraph("range-selection")
+    # out-of-core configs stage the annotated input on disk, so even the
+    # single-job operator's input splits decode in the map workers
+    dfs = graph.resource(config.chain_dfs())
+    state: dict = {}
 
-    Parameters
-    ----------
-    config:
-        Reuses the join configuration (k is ignored; ``num_reducers``,
-        metric, split size and pivot seed apply).
-    num_pivots:
-        Voronoi cells to partition the dataset into.
-    """
-
-    def __init__(self, config: JoinConfig, num_pivots: int = 32) -> None:
-        if num_pivots < 1:
-            raise ValueError("num_pivots must be >= 1")
-        self.config = config
-        self.num_pivots = num_pivots
-
-    def run(
-        self, dataset: Dataset, queries: Dataset, theta: float
-    ) -> RangeSelectionOutcome:
-        """All objects within ``theta`` of each query point."""
-        if theta < 0:
-            raise ValueError("theta must be non-negative")
-        config = self.config
+    def build_select(ctx):
         metric = get_metric(config.metric_name)
+        state["metric"] = metric
         rng = np.random.default_rng(config.seed)
-        rows = rng.choice(len(dataset), size=min(self.num_pivots, len(dataset)), replace=False)
+        rows = rng.choice(
+            len(dataset), size=min(num_pivots, len(dataset)), replace=False
+        )
         partitioner = VoronoiPartitioner(dataset.points[rows], metric)
         assignment = partitioner.assign(dataset)
         ring_stats: dict[int, tuple[float, float]] = {}
@@ -183,7 +182,7 @@ class DistributedRangeSelection:
             record.pivot_distance = float(dist)
             records.append((int(pid), record))
 
-        job_spec = MapReduceJob(
+        job = MapReduceJob(
             name="range-selection",
             mapper_factory=RangeQueryRoutingMapper,
             reducer_factory=RangeQueryReducer,
@@ -197,12 +196,12 @@ class DistributedRangeSelection:
                 "ring_stats": ring_stats,
             },
         )
-        # out-of-core configs stage the annotated input on disk, so even the
-        # single-job operator's input splits decode in the map workers
-        with config.make_runtime() as runtime, config.make_chain_dfs() as dfs:
-            job = runtime.run(
-                job_spec, chain_splits(config, dfs, "range-input", records)
-            )
+        return job, chain_splits(config, dfs, "range-input", records)
+
+    select = graph.stage("range-selection/select", build_select)
+
+    def assemble(run) -> RangeSelectionOutcome:
+        job = run.result_of(select)
         matches = {query_id: ids for query_id, ids in job.outputs}
         # queries with zero reachable cells never reach a reducer: fill empties
         for row in range(len(queries)):
@@ -212,7 +211,54 @@ class DistributedRangeSelection:
             shuffle_records=job.stats.shuffle_records,
             shuffle_bytes=job.stats.shuffle_bytes,
             distance_pairs=job.counters.value(PAIRS_GROUP, PAIRS_NAME)
-            + metric.pairs_computed,
+            + state["metric"].pairs_computed,
             dataset_size=len(dataset),
             num_queries=len(queries),
         )
+
+    return JoinPlan(graph=graph, assemble=assemble)
+
+
+class DistributedRangeSelection:
+    """Answers many range-selection queries in one MapReduce job.
+
+    Thin shim over ``run_join("range-selection", ...)``.
+
+    Parameters
+    ----------
+    config:
+        Reuses the join configuration (k is ignored; ``num_reducers``,
+        metric, split size and pivot seed apply).
+    num_pivots:
+        Voronoi cells to partition the dataset into.
+    """
+
+    def __init__(self, config: JoinConfig, num_pivots: int = 32) -> None:
+        if num_pivots < 1:
+            raise ValueError("num_pivots must be >= 1")
+        self.config = config
+        self.num_pivots = num_pivots
+
+    def run(
+        self, dataset: Dataset, queries: Dataset, theta: float
+    ) -> RangeSelectionOutcome:
+        """All objects within ``theta`` of each query point."""
+        return run_join(
+            "range-selection",
+            dataset,
+            queries,
+            self.config,
+            theta=theta,
+            num_pivots=self.num_pivots,
+        )
+
+
+register_join(
+    JoinSpec(
+        name="range-selection",
+        config_class=JoinConfig,
+        plan=plan_range_selection,
+        kind="operator",
+        summary="distributed range selection (Definition 3) over the Voronoi substrate",
+    )
+)

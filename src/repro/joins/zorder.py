@@ -36,6 +36,7 @@ from repro.core.result import KnnJoinResult
 from repro.core.zorder import ZOrderTransform
 from repro.mapreduce.job import Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import ModPartitioner
+from repro.mapreduce.plan import JobGraph
 from repro.mapreduce.splits import dataset_splits
 
 from .base import (
@@ -46,10 +47,12 @@ from .base import (
     JoinConfig,
     JoinOutcome,
     KnnJoinAlgorithm,
+    StageStats,
 )
-from .block_framework import run_merge_job
+from .block_framework import chain_splits, merge_job_spec
+from .registry import JoinPlan, JoinSpec, register_join, run_join
 
-__all__ = ["ZOrderKnnJoin", "ZOrderConfig", "recall_against"]
+__all__ = ["ZOrderKnnJoin", "ZOrderConfig", "plan_zorder", "recall_against"]
 
 
 class ZOrderConfig(JoinConfig):
@@ -170,21 +173,18 @@ class ZOrderJoinReducer(Reducer):
         return ()
 
 
-class ZOrderKnnJoin(KnnJoinAlgorithm):
-    """Approximate kNN join on shifted z-order curves (extension)."""
+def plan_zorder(r: Dataset, s: Dataset, config: ZOrderConfig) -> JoinPlan:
+    """Plan the approximate join: ``zorder/join`` → ``zorder/merge``."""
+    KnnJoinAlgorithm._check_inputs(r, s, config.k)
+    graph = JobGraph("zorder")
+    # out-of-core configs stage the candidate lists between the stages on disk
+    dfs = graph.resource(config.chain_dfs())
 
-    name = "zorder"
-
-    def __init__(self, config: ZOrderConfig) -> None:
-        super().__init__(config)
-        self.config: ZOrderConfig = config
-
-    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
-        config = self.config
-        self._check_inputs(r, s, config.k)
+    def build_join(ctx):
         rng = np.random.default_rng(config.seed)
-
         # master-side preprocessing: shifts, transform, quantile boundaries
+        # (untimed, as the imperative driver had it — a new master phase
+        # would change simulated_seconds vs the pre-plan outcomes)
         span = np.maximum(
             np.vstack([r.points, s.points]).max(axis=0)
             - np.vstack([r.points, s.points]).min(axis=0),
@@ -192,7 +192,10 @@ class ZOrderKnnJoin(KnnJoinAlgorithm):
         )
         shifts = np.vstack(
             [np.zeros(r.dimensions)]
-            + [rng.random(r.dimensions) * span * 0.25 for _ in range(config.num_shifts - 1)]
+            + [
+                rng.random(r.dimensions) * span * 0.25
+                for _ in range(config.num_shifts - 1)
+            ]
         )
         transform = ZOrderTransform.for_points(
             np.vstack([r.points, s.points]), bits=config.bits, padding=0.3
@@ -216,7 +219,7 @@ class ZOrderKnnJoin(KnnJoinAlgorithm):
             gaps = [b - a for a, b in zip(sample_z, sample_z[1:])] or [0]
             margins.append(int(sorted(gaps)[len(gaps) // 2] * config.k))
 
-        job1_spec = MapReduceJob(
+        job = MapReduceJob(
             name="zorder-join",
             mapper_factory=ZOrderRoutingMapper,
             reducer_factory=ZOrderJoinReducer,
@@ -233,29 +236,63 @@ class ZOrderKnnJoin(KnnJoinAlgorithm):
                 "candidates_per_side": config.candidates_per_side,
             },
         )
-        # one runtime (one warm pool under the pooled engines) for both jobs;
-        # out-of-core configs stage the candidate lists between them on disk
-        with config.make_runtime() as runtime, config.make_chain_dfs() as dfs:
-            job1 = runtime.run(job1_spec, dataset_splits(r, s, config.split_size))
-            job2 = run_merge_job(job1.outputs, config, runtime, dfs=dfs)
+        return job, dataset_splits(r, s, config.split_size)
 
+    join = graph.stage("zorder/join", build_join)
+
+    def build_merge(ctx):
+        job1 = ctx.result_of(join)
+        return merge_job_spec(config), chain_splits(
+            config, dfs, "merge-input", job1.outputs
+        )
+
+    merge = graph.stage("zorder/merge", build_merge, deps=(join,))
+    stage_names = (join.name, merge.name)
+
+    def assemble(run) -> JoinOutcome:
+        job1, job2 = run.result_of(join), run.result_of(merge)
         result = KnnJoinResult(config.k)
         for r_id, (ids, dists) in job2.outputs:
             result.add(r_id, ids, dists)
         outcome = JoinOutcome(
-            algorithm=self.name,
+            algorithm="zorder",
             result=result,
             r_size=len(r),
             s_size=len(s),
             k=config.k,
             master_phases={},
-            job_stats=[job1.stats, job2.stats],
+            job_stats=StageStats([job1.stats, job2.stats], names=stage_names),
             job_phase_names=["knn_join", "merge"],
             master_distance_pairs=0,
         )
         outcome.counters.merge(job1.counters)
         outcome.counters.merge(job2.counters)
         return outcome
+
+    return JoinPlan(graph=graph, assemble=assemble)
+
+
+class ZOrderKnnJoin(KnnJoinAlgorithm):
+    """Approximate z-order join — thin shim over ``run_join("zorder")``."""
+
+    name = "zorder"
+
+    def __init__(self, config: ZOrderConfig) -> None:
+        super().__init__(config)
+        self.config: ZOrderConfig = config
+
+    def run(self, r: Dataset, s: Dataset) -> JoinOutcome:
+        return run_join(self.name, r, s, self.config)
+
+
+register_join(
+    JoinSpec(
+        name="zorder",
+        config_class=ZOrderConfig,
+        plan=plan_zorder,
+        summary="approximate H-zkNNJ-style join on shifted z-order curves",
+    )
+)
 
 
 def recall_against(

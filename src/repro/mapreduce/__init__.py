@@ -23,6 +23,16 @@ from .engines import (
 from .hdfs import DfsFile, DistributedFileSystem, SegmentChunk
 from .job import BlockBufferingMapper, Context, Mapper, MapReduceJob, Reducer
 from .partitioners import HashPartitioner, ModPartitioner, Partitioner
+from .plan import (
+    JobGraph,
+    PlanCache,
+    PlanError,
+    PlanRun,
+    PlanScheduler,
+    Stage,
+    StageContext,
+    StageExecution,
+)
 from .runtime import FaultInjector, JobResult, LocalRuntime, TaskFailure
 from .serialization import (
     decode_record_block,
@@ -73,6 +83,14 @@ __all__ = [
     "JobResult",
     "TaskFailure",
     "FaultInjector",
+    "JobGraph",
+    "Stage",
+    "StageContext",
+    "StageExecution",
+    "PlanRun",
+    "PlanScheduler",
+    "PlanCache",
+    "PlanError",
     "Executor",
     "SerialExecutor",
     "ThreadExecutor",

@@ -241,10 +241,17 @@ class PersistentThreadExecutor(Executor):
             pool.shutdown(wait=True)
 
 
-#: worker-side generation-tagged slot for the current job's shared state:
-#: ``(generation, shared)`` — installed by the per-job priming round, reused
-#: by every task of that job the worker executes
-_POOL_SLOT: tuple[int, Any] = (0, None)
+#: how many distinct jobs' shared state a pooled worker keeps resident at
+#: once.  One would re-ship on every alternation when a *plan* interleaves
+#: batches of concurrent stages (stage A, stage B, stage A, ...); a small
+#: cache makes interleaving free while bounding worker memory.  Parent and
+#: worker both evict the lowest generation, so their views stay aligned.
+_MAX_RESIDENT_JOBS = 4
+
+#: worker-side generation-keyed slots for resident jobs' shared state —
+#: installed by the per-job priming round, reused by every task of those
+#: jobs the worker executes
+_POOL_SLOTS: dict[int, Any] = {}
 
 #: worker-side barrier shared by the pool (installed via the pool initializer,
 #: i.e. by inheritance — sync primitives cannot travel through the task queue)
@@ -265,20 +272,24 @@ def _install_shared(generation: int, blob: bytes) -> None:
     Every worker that picks up a priming task blocks on the barrier until
     *all* workers hold one — which is what guarantees each worker executes
     exactly one install (a worker cannot finish its install and steal a
-    second while others are still empty-handed).
+    second while others are still empty-handed).  Installs land in a small
+    generation-keyed slot cache; the oldest generation is evicted beyond
+    ``_MAX_RESIDENT_JOBS``, mirroring the parent's bookkeeping.
     """
-    global _POOL_SLOT
     _INSTALL_BARRIER.wait(timeout=_INSTALL_TIMEOUT_S)
-    _POOL_SLOT = (generation, pickle.loads(blob))
+    _POOL_SLOTS[generation] = pickle.loads(blob)
+    while len(_POOL_SLOTS) > _MAX_RESIDENT_JOBS:
+        del _POOL_SLOTS[min(_POOL_SLOTS)]
 
 
 def _pooled_call(fn: Callable[[Any, Any], Any], generation: int, payload: Any) -> Any:
-    slot_generation, shared = _POOL_SLOT
-    if slot_generation != generation:
+    try:
+        shared = _POOL_SLOTS[generation]
+    except KeyError:
         raise RuntimeError(
-            f"pooled worker holds job generation {slot_generation}, "
+            f"pooled worker holds job generations {sorted(_POOL_SLOTS)}, "
             f"task expects {generation}; priming round was skipped or lost"
-        )
+        ) from None
     return fn(shared, payload)
 
 
@@ -289,11 +300,18 @@ class PersistentProcessExecutor(Executor):
     of the job spec per worker on **every** batch.  This backend keeps the
     pool alive and ships the spec once per worker per *job*: the parent
     pickles the shared state a single time when a new job object arrives
-    (identity change), bumps a generation counter, and runs a barrier-gated
+    (identity change), assigns it a generation, and runs a barrier-gated
     *priming round* — one install task per worker — that stores the blob in
-    a generation-tagged worker slot.  Ordinary tasks then carry only the
+    a generation-keyed worker slot.  Ordinary tasks then carry only the
     generation tag, so retry rounds and the reduce phase of the same job
     ship nothing but payloads.
+
+    Up to ``_MAX_RESIDENT_JOBS`` jobs stay shipped at once: a plan scheduler
+    running independent stages concurrently interleaves batches of
+    *different* jobs on one executor, and alternation must not re-ship the
+    specs batch by batch.  The parent keeps (generation, blob, job) rows per
+    live job identity and the workers a matching generation-keyed slot
+    cache; both evict the lowest generation, so their views agree.
 
     If a worker dies (OOM kill, native crash), the standard library marks
     the whole pool broken; the executor then drops its cached pool so the
@@ -308,10 +326,11 @@ class PersistentProcessExecutor(Executor):
         self.max_workers = _resolve_workers(max_workers)
         self._pool: ProcessPoolExecutor | None = None
         self._barrier: Any = None
-        self._generation = 0
-        self._installed_generation = 0  # generation primed into the live pool
-        self._shared: Any = None  # identity-tracks the currently shipped job
-        self._blob: bytes = b""
+        self._generation = 0  # last assigned generation
+        #: resident jobs: id(shared) -> (generation, blob, shared); the
+        #: shared ref both pins the id and detects identity reuse
+        self._jobs: dict[int, tuple[int, bytes, Any]] = {}
+        self._installed: set[int] = set()  # generations primed into the pool
         #: batches are atomic: generation bookkeeping, priming and the pool
         #: itself are one shared state, so concurrent runtimes sharing this
         #: executor (JoinConfig.shared_executor) take turns batch by batch
@@ -322,17 +341,14 @@ class PersistentProcessExecutor(Executor):
         if len(payloads) <= 1 or self.max_workers == 1:
             return [fn(shared, payload) for payload in payloads]
         with self._lock:
-            if self._generation == 0 or shared is not self._shared:
-                self._generation += 1
-                self._shared = shared
-                self._blob = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+            generation = self._assign_generation(shared)
             try:
                 pool = self._ensure_pool()
-                self._ensure_primed(pool)
+                self._ensure_primed(pool, generation)
                 chunksize = max(1, len(payloads) // (self.max_workers * 4))
                 return list(
                     pool.map(
-                        partial(_pooled_call, fn, self._generation),
+                        partial(_pooled_call, fn, generation),
                         payloads,
                         chunksize=chunksize,
                     )
@@ -344,6 +360,19 @@ class PersistentProcessExecutor(Executor):
                 self._reset_pool()
                 raise
 
+    def _assign_generation(self, shared: Any) -> int:
+        """The generation for this job, pickling it only on first sight."""
+        row = self._jobs.get(id(shared))
+        if row is not None and row[2] is shared:
+            return row[0]
+        self._generation += 1
+        blob = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+        self._jobs[id(shared)] = (self._generation, blob, shared)
+        while len(self._jobs) > _MAX_RESIDENT_JOBS:
+            evict = min(self._jobs, key=lambda key: self._jobs[key][0])
+            self._installed.discard(self._jobs.pop(evict)[0])
+        return self._generation
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._barrier = multiprocessing.get_context().Barrier(self.max_workers)
@@ -352,25 +381,28 @@ class PersistentProcessExecutor(Executor):
                 initializer=_pooled_worker_init,
                 initargs=(self._barrier,),
             )
-            self._installed_generation = 0
+            self._installed = set()
         return self._pool
 
-    def _ensure_primed(self, pool: ProcessPoolExecutor) -> None:
-        """Ship the current job's blob to every worker, exactly once each."""
-        if self._installed_generation == self._generation:
+    def _ensure_primed(self, pool: ProcessPoolExecutor, generation: int) -> None:
+        """Ship this job's blob to every worker, exactly once each."""
+        if generation in self._installed:
             return
+        blob = next(
+            row[1] for row in self._jobs.values() if row[0] == generation
+        )
         futures = [
-            pool.submit(_install_shared, self._generation, self._blob)
+            pool.submit(_install_shared, generation, blob)
             for _ in range(self.max_workers)
         ]
         for future in futures:
             future.result()
-        self._installed_generation = self._generation
+        self._installed.add(generation)
 
     def _reset_pool(self) -> None:
         pool, self._pool = self._pool, None
         self._barrier = None
-        self._installed_generation = 0
+        self._installed = set()
         if pool is not None:
             pool.shutdown(wait=True)
 
@@ -378,8 +410,7 @@ class PersistentProcessExecutor(Executor):
         with self._lock:
             self._reset_pool()
             self.closed = True
-            self._shared = None
-            self._blob = b""
+            self._jobs = {}
 
 
 #: engine name -> executor class; later PRs (async, distributed) register here

@@ -370,13 +370,20 @@ class LocalRuntime:
         stats = JobStats(job_name=job.name)
         stats.cache_bytes = _cache_bytes(job.cache)
 
-        if job.reducer_factory is not None:
+        # the job session scopes per-job shuffle state (e.g. a spill
+        # directory) to this run() call, so concurrently executing jobs —
+        # plan-scheduled independent stages share one runtime — never
+        # interleave their shuffle storage
+        shuffle_session = (
             self.shuffle_store.begin_job(job)
+            if job.reducer_factory is not None
+            else None
+        )
         map_specs = []
         for index, split in enumerate(splits):
             task_id = f"{job.name}-m-{index:05d}"
             spill = (
-                self.shuffle_store.map_spill_spec(job, task_id, index)
+                self.shuffle_store.map_spill_spec(job, task_id, index, shuffle_session)
                 if job.reducer_factory is not None
                 else None
             )

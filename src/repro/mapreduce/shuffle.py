@@ -43,6 +43,7 @@ import pickle
 import shutil
 import struct
 import tempfile
+import threading
 from abc import ABC, abstractmethod
 from collections.abc import Iterator
 from dataclasses import dataclass
@@ -517,12 +518,18 @@ class ShuffleStore(ABC):
     """Strategy for moving map output to reduce input.
 
     The scheduler drives it in four steps per job: :meth:`begin_job` (once,
-    before the map phase of a job with reducers), :meth:`map_spill_spec` (per
-    map task — ``None`` means "return emissions inline"), then
-    :meth:`plan_reduce` over the completed map attempts, which both fills the
-    job's shuffle accounting (from emissions or segment headers) and returns
-    one :class:`ReduceInput` per non-empty reducer.  :meth:`close` releases
-    whatever the backend holds (spill directories) and is idempotent.
+    before the map phase of a job with reducers — it returns an opaque *job
+    session* the scheduler holds for the rest of that job), then
+    :meth:`map_spill_spec` (per map task, handed the session — ``None`` means
+    "return emissions inline"), then :meth:`plan_reduce` over the completed
+    map attempts, which both fills the job's shuffle accounting (from
+    emissions or segment headers) and returns one :class:`ReduceInput` per
+    non-empty reducer.  :meth:`close` releases whatever the backend holds
+    (spill directories) and is idempotent.
+
+    Per-job state lives in the session value, never on the store: one store
+    serves any number of *concurrently executing* jobs (the plan scheduler
+    runs independent stages of a job graph at the same time on one runtime).
 
     ``map_results`` rows are duck-typed: they expose ``.emissions`` (a list
     of ``(key, value)`` pairs) and ``.manifest`` (a :class:`MapManifest` or
@@ -534,10 +541,14 @@ class ShuffleStore(ABC):
 
     closed: bool = False
 
-    def begin_job(self, job) -> None:
-        """Prepare per-job state (e.g. a spill directory)."""
+    def begin_job(self, job) -> Any:
+        """Prepare per-job state (e.g. a spill directory); returns the job
+        session the scheduler passes back to :meth:`map_spill_spec`."""
+        return None
 
-    def map_spill_spec(self, job, task_id: str, task_index: int) -> SpillSpec | None:
+    def map_spill_spec(
+        self, job, task_id: str, task_index: int, session: Any = None
+    ) -> SpillSpec | None:
         """Spill instructions for one map task; ``None`` = inline emissions."""
         return None
 
@@ -632,22 +643,32 @@ class SpillShuffleStore(ShuffleStore):
         self.merge_fan_in = merge_fan_in
         self._scratch = OwnedScratchDir(prefix="repro-shuffle-", parent=spill_dir)
         self._job_counter = 0
-        self._job_dir: str | None = None
+        #: guards the job counter and lazy scratch creation — one store may
+        #: serve several concurrently executing jobs (plan-scheduled stages)
+        self._lock = threading.Lock()
 
     # -- scheduler side -------------------------------------------------------
 
-    def begin_job(self, job) -> None:
+    def begin_job(self, job) -> str:
+        """Create this job's private spill directory and return it (the job
+        session).  Each concurrent job gets its own counter-uniquified
+        directory, so same-named jobs of a fused plan never collide."""
         self._check_open()
-        self._job_counter += 1
-        job_dir = Path(self._scratch.ensure()) / f"job{self._job_counter:04d}-{job.name}"
+        with self._lock:
+            self._job_counter += 1
+            counter = self._job_counter
+            root = self._scratch.ensure()
+        job_dir = Path(root) / f"job{counter:04d}-{job.name}"
         job_dir.mkdir()
-        self._job_dir = str(job_dir)
+        return str(job_dir)
 
-    def map_spill_spec(self, job, task_id: str, task_index: int) -> SpillSpec:
-        if self._job_dir is None:
+    def map_spill_spec(
+        self, job, task_id: str, task_index: int, session: Any = None
+    ) -> SpillSpec:
+        if session is None:
             raise RuntimeError("map_spill_spec called before begin_job")
         return SpillSpec(
-            directory=self._job_dir,
+            directory=session,
             budget=self.memory_budget,
             task_index=task_index,
             task_id=task_id,
@@ -701,7 +722,6 @@ class SpillShuffleStore(ShuffleStore):
             raise RuntimeError("shuffle store is closed")
 
     def close(self) -> None:
-        self._job_dir = None
         self.closed = True
         self._scratch.close()
 

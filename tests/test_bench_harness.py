@@ -66,6 +66,14 @@ class TestRunners:
         outcome = run_hbrj(small_uniform, small_uniform, k=3, num_pivots=999, num_reducers=4)
         assert outcome.algorithm == "hbrj"
 
+    def test_typo_override_rejected(self, small_uniform):
+        # a knob NO registered config accepts is a typo, not a cross-
+        # algorithm knob to filter — it must fail loudly
+        import pytest
+
+        with pytest.raises(TypeError, match="num_reducer"):
+            run_pgbj(small_uniform, small_uniform, num_reducer=32)
+
 
 class TestExperimentResult:
     def test_save_round_trip(self, tmp_path):

@@ -328,15 +328,42 @@ class TestPooledLifecycle:
             job_a = {"bias": 10}
             executor.run_tasks(_double, job_a, [1, 2])
             generation = executor._generation
-            assert executor._installed_generation == generation
+            assert generation in executor._installed
             # same job object again (another phase / retry round): no reship
             executor.run_tasks(_double, job_a, [3, 4])
             assert executor._generation == generation
-            # a new job object bumps the generation (one priming round) once
+            # a new job object gets its own generation (one priming round)
             job_b = {"bias": 20}
             assert executor.run_tasks(_double, job_b, [1, 2]) == [22, 24]
             assert executor._generation == generation + 1
-            assert executor._installed_generation == generation + 1
+            assert executor._installed == {generation, generation + 1}
+
+    def test_interleaved_jobs_stay_resident(self):
+        """Alternating batches of two jobs (concurrently scheduled plan
+        stages share one executor) must not re-ship the specs per batch."""
+        with PersistentProcessExecutor(max_workers=2) as executor:
+            job_a, job_b = {"bias": 10}, {"bias": 20}
+            for _ in range(3):  # a, b, a, b, ... on one pool
+                assert executor.run_tasks(_double, job_a, [1, 2]) == [12, 14]
+                assert executor.run_tasks(_double, job_b, [1, 2]) == [22, 24]
+            # two generations total, both resident — alternation shipped
+            # each spec exactly once
+            assert executor._generation == 2
+            assert executor._installed == {1, 2}
+
+    def test_resident_job_cache_evicts_oldest(self):
+        from repro.mapreduce.engines import _MAX_RESIDENT_JOBS
+
+        with PersistentProcessExecutor(max_workers=2) as executor:
+            jobs = [{"bias": index} for index in range(_MAX_RESIDENT_JOBS + 2)]
+            for index, job in enumerate(jobs):
+                expected = [2 + index, 4 + index]
+                assert executor.run_tasks(_double, job, [1, 2]) == expected
+            assert len(executor._jobs) == _MAX_RESIDENT_JOBS
+            # evicted jobs are re-shipped under fresh generations, and the
+            # results stay correct
+            assert executor.run_tasks(_double, jobs[0], [1, 2]) == [2, 4]
+            assert executor._generation == len(jobs) + 1
 
     def test_serial_fallback_then_parallel_batch_primes(self):
         # a <=1-payload batch runs inline without a pool; the first parallel
