@@ -142,6 +142,79 @@ def reducer_kernel_micro(
     }
 
 
+# -- kernel-provider micro benchmark -------------------------------------------
+
+
+def provider_kernel_micro(
+    num_r: int = 10_000,
+    num_s: int = 10_000,
+    dims: int = 8,
+    k: int = 10,
+    num_pivots: int = 128,
+    seed: int = 0,
+    repeats: int = 3,
+) -> dict:
+    """numpy vs numba provider on the same kernel world; identical results.
+
+    With numba installed this times the compiled candidate-loop kernels
+    against the vectorized numpy ones (the per-worker scratch pool is live in
+    both).  Without it the numba provider transparently falls back to numpy —
+    the record then shows ``numba_native: false`` and a ~1x ratio, which is
+    the documented degraded mode, not an error.
+    """
+    import warnings
+
+    from repro.joins.kernel_providers import KERNEL_PROVIDERS
+    from repro.joins.kernels import ScratchPool
+
+    world = _kernel_world(num_r, num_s, dims, k, num_pivots, seed)
+
+    def run(provider):
+        best_wall, pairs, results = float("inf"), 0, {}
+        scratch = ScratchPool()
+        for _ in range(max(1, repeats)):
+            metric = get_metric("l2")
+            started = time.perf_counter()
+            results = {
+                r_id: (ids, dists)
+                for r_id, ids, dists in provider.knn_join_kernel(
+                    metric, k, *world, scratch=scratch
+                )
+            }
+            best_wall = min(best_wall, time.perf_counter() - started)
+            pairs = metric.pairs_computed
+        return best_wall, pairs, results
+
+    numba_provider = KERNEL_PROVIDERS["numba"]
+    native = numba_provider.available()
+    wall_numpy, pairs_numpy, results_numpy = run(KERNEL_PROVIDERS["numpy"])
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)  # fallback notice
+        wall_numba, pairs_numba, results_numba = run(numba_provider)
+
+    assert pairs_numba == pairs_numpy, (
+        f"pairs_computed drifted: {pairs_numba} != {pairs_numpy}"
+    )
+    assert set(results_numba) == set(results_numpy)
+    for r_id, (ids, dists) in results_numpy.items():
+        got_ids, got_dists = results_numba[r_id]
+        assert np.array_equal(got_ids, ids), f"neighbor ids differ for r={r_id}"
+        assert np.array_equal(got_dists, dists), f"distances differ for r={r_id}"
+
+    return {
+        "num_r": num_r,
+        "num_s": num_s,
+        "dims": dims,
+        "k": k,
+        "num_pivots": num_pivots,
+        "pairs_computed": int(pairs_numpy),
+        "numba_native": native,
+        "numpy_seconds": wall_numpy,
+        "numba_seconds": wall_numba,
+        "speedup": wall_numpy / wall_numba if wall_numba else float("inf"),
+    }
+
+
 # -- shuffle micro benchmark ---------------------------------------------------
 
 
@@ -223,10 +296,12 @@ def test_bench_columnar_kernel(benchmark, exhibit_runner):
 
     micro = {
         "kernel": reducer_kernel_micro(num_r=2000, num_s=2000),
+        "provider": provider_kernel_micro(num_r=2000, num_s=2000),
         "shuffle": shuffle_micro(num_records=50_000),
     }
     result = exhibit_runner(kernels_baseline, micro=micro)
     assert result.data["micro"]["kernel"]["speedup"] > 0
+    assert result.data["micro"]["provider"]["pairs_computed"] > 0
     assert result.data["micro"]["shuffle"]["shuffle_records"] == 50_000
 
 
@@ -257,12 +332,22 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.smoke:
         kernel = reducer_kernel_micro(num_r=300, num_s=400, num_pivots=12, k=5)
+        provider = provider_kernel_micro(num_r=300, num_s=400, num_pivots=12, k=5)
         shuffle = shuffle_micro(num_records=5_000)
         print(f"kernel ok: identical results, pairs={kernel['pairs_computed']}")
+        backend = "compiled" if provider["numba_native"] else "numpy fallback"
+        print(f"provider ok: numpy == numba ({backend})")
         print(f"shuffle ok: identical accounting, records={shuffle['shuffle_records']}")
         return 0
 
     kernel = reducer_kernel_micro(
+        num_r=args.num_r,
+        num_s=args.num_s,
+        dims=args.dims,
+        k=args.k,
+        num_pivots=args.num_pivots,
+    )
+    provider = provider_kernel_micro(
         num_r=args.num_r,
         num_s=args.num_s,
         dims=args.dims,
@@ -277,6 +362,13 @@ def main(argv: list[str] | None = None) -> int:
         f"speedup {kernel['speedup']:.2f}x "
         f"(pairs={kernel['pairs_computed']}, identical results)"
     )
+    backend = "compiled" if provider["numba_native"] else "numpy fallback"
+    print(
+        f"kernel providers {args.num_r}x{args.num_s} d={args.dims} k={args.k}: "
+        f"numpy {provider['numpy_seconds']:.3f}s, "
+        f"numba {provider['numba_seconds']:.3f}s ({backend}), "
+        f"ratio {provider['speedup']:.2f}x (identical results)"
+    )
     print(
         f"shuffle {shuffle['num_records']} records: "
         f"per-record {shuffle['per_record_seconds']:.3f}s, "
@@ -286,7 +378,9 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.bench import kernels_baseline
 
-    record = kernels_baseline(micro={"kernel": kernel, "shuffle": shuffle})
+    record = kernels_baseline(
+        micro={"kernel": kernel, "provider": provider, "shuffle": shuffle}
+    )
     path = record.save(args.results_dir)
     print(record.show())
     print(f"saved {path}")

@@ -28,6 +28,8 @@ __all__ = [
     "bench_engine",
     "bench_workers",
     "bench_memory_budget",
+    "bench_kernel_provider",
+    "bench_spill_codec",
     "scaled_pivots",
     "pivot_sweep",
     "forest_workload",
@@ -118,6 +120,41 @@ def bench_memory_budget() -> int | None:
     return budget
 
 
+def bench_kernel_provider() -> str:
+    """Kernel provider for bench runs (``REPRO_KERNEL_PROVIDER``, default auto).
+
+    All providers produce bit-identical results, ``pairs_computed`` and
+    shuffle accounting; only wall-clock moves.  The CI ``kernels-native`` leg
+    sets ``numba`` so every exhibit exercises the compiled kernels.  The
+    provider used is stamped into every saved record.
+    """
+    from repro.joins.kernel_providers import KERNEL_PROVIDERS
+
+    provider = os.environ.get("REPRO_KERNEL_PROVIDER", "auto")
+    if provider not in KERNEL_PROVIDERS:
+        raise ValueError(
+            f"REPRO_KERNEL_PROVIDER must be one of {', '.join(KERNEL_PROVIDERS)}"
+        )
+    return provider
+
+
+def bench_spill_codec() -> str:
+    """Segment codec for bench runs (``REPRO_SPILL_CODEC``, default none).
+
+    Setting a codec switches every bench join to the spill shuffle with
+    compressed segment payloads.  Shuffle accounting is measured on the
+    uncompressed records, so results and every counter stay identical.
+    """
+    from repro.mapreduce.shuffle import SEGMENT_CODECS
+
+    codec = os.environ.get("REPRO_SPILL_CODEC", "none")
+    if codec not in SEGMENT_CODECS:
+        raise ValueError(
+            f"REPRO_SPILL_CODEC must be one of {', '.join(SEGMENT_CODECS)}"
+        )
+    return codec
+
+
 def scaled(value: int, minimum: int = 8) -> int:
     """Apply the global scale to an object count."""
     return max(minimum, int(value * bench_scale()))
@@ -156,10 +193,17 @@ def default_cluster(num_nodes: int | None = None) -> Cluster:
 
 def _engine_params() -> dict[str, Any]:
     """Engine/shuffle settings every bench runner inherits (env-overridable)."""
-    params: dict[str, Any] = {"engine": bench_engine(), "max_workers": bench_workers()}
+    params: dict[str, Any] = {
+        "engine": bench_engine(),
+        "max_workers": bench_workers(),
+        "kernel_provider": bench_kernel_provider(),
+    }
     budget = bench_memory_budget()
     if budget is not None:
         params["memory_budget"] = budget
+    codec = bench_spill_codec()
+    if codec != "none":
+        params["spill_codec"] = codec
     return params
 
 
@@ -262,6 +306,38 @@ def kernels_baseline(
                 round(outcome.shuffle_bytes() / 1e6, 3),
             ]
         )
+    # end-to-end PGBJ per kernel provider: the work counters must not move
+    # between providers (bit-identity contract); only wall-clock may
+    from repro.joins.kernel_providers import available_kernel_providers
+
+    providers: dict[str, Any] = {}
+    baseline_pairs = raw["pgbj"]["pairs_computed"]
+    for provider, (native, _description) in available_kernel_providers().items():
+        started = time.perf_counter()
+        outcome = run_pgbj(data, data, seed=seed, kernel_provider=provider)
+        wall = time.perf_counter() - started
+        if outcome.distance_pairs != baseline_pairs:
+            raise AssertionError(
+                f"provider {provider!r} changed pairs_computed: "
+                f"{outcome.distance_pairs} != {baseline_pairs}"
+            )
+        providers[provider] = {
+            "wall_seconds": wall,
+            "native": native,
+            "pairs_computed": outcome.distance_pairs,
+            "shuffle_records": outcome.shuffle_records(),
+            "shuffle_mb": outcome.shuffle_bytes() / 1e6,
+        }
+        rows.append(
+            [
+                f"pgbj@{provider}" + ("" if native else " (fallback)"),
+                round(wall, 3),
+                outcome.distance_pairs,
+                outcome.shuffle_records(),
+                round(outcome.shuffle_bytes() / 1e6, 3),
+            ]
+        )
+    raw["providers"] = providers
     if micro is not None:
         raw["micro"] = micro
     from repro.metrics import format_table
@@ -300,6 +376,8 @@ class ExperimentResult:
     params: dict[str, Any] = field(default_factory=dict)
     #: execution backend the sweep ran on — engine column of every record
     engine: str = field(default_factory=bench_engine)
+    #: kernel provider the sweep ran on — provider column of every record
+    kernel_provider: str = field(default_factory=bench_kernel_provider)
 
     def save(self, results_dir: str | Path = "results") -> Path:
         """Write the JSON record under ``results/<exhibit>.json``."""
@@ -310,6 +388,7 @@ class ExperimentResult:
             "exhibit": self.exhibit,
             "title": self.title,
             "engine": self.engine,
+            "kernel_provider": self.kernel_provider,
             "params": self.params,
             "data": self.data,
             "text": self.text,

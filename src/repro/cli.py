@@ -16,6 +16,7 @@ makes it runnable here with no CLI change.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.bench import (
@@ -32,7 +33,8 @@ from repro.bench import (
 from repro.bench.harness import DEFAULTS, bench_scale, default_cluster
 from repro.datasets import expand_dataset, generate_forest, generate_osm
 from repro.joins import available_joins, get_join, run_join
-from repro.mapreduce import DEFAULT_ENGINE, available_engines
+from repro.joins.kernel_providers import available_kernel_providers
+from repro.mapreduce import DEFAULT_ENGINE, SEGMENT_CODECS, available_engines
 
 __all__ = ["main"]
 
@@ -80,6 +82,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-engines",
         action="store_true",
         help="list the registered execution engines and exit",
+    )
+    parser.add_argument(
+        "--list-kernel-providers",
+        action="store_true",
+        help=(
+            "list the kernel providers with their availability in this "
+            "environment and exit"
+        ),
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -134,6 +144,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="directory for shuffle segment files (default: system temp)",
     )
     join.add_argument(
+        "--spill-codec",
+        choices=list(SEGMENT_CODECS),
+        default=os.environ.get("REPRO_SPILL_CODEC", "none"),
+        help=(
+            "compress spilled segment value payloads (implies the spill "
+            "shuffle backend); accounting stays identical to uncompressed.  "
+            "Default from REPRO_SPILL_CODEC"
+        ),
+    )
+    join.add_argument(
+        "--kernel-provider",
+        choices=["numpy", "numba", "auto"],
+        default=os.environ.get("REPRO_KERNEL_PROVIDER", "auto"),
+        help=(
+            "hot-loop kernel implementation: 'numpy' (portable oracle), "
+            "'numba' (JIT-compiled; falls back to numpy with a warning when "
+            "the library is missing), or 'auto' (per-call choice by batch "
+            "shape).  Results are bit-identical across providers.  Default "
+            "from REPRO_KERNEL_PROVIDER"
+        ),
+    )
+    join.add_argument(
         "--no-plan-concurrency",
         action="store_true",
         help=(
@@ -162,6 +194,13 @@ def _cmd_list_engines() -> int:
     for engine in available_engines():
         suffix = " (default)" if engine == DEFAULT_ENGINE else ""
         print(f"{engine}{suffix}")
+    return 0
+
+
+def _cmd_list_kernel_providers() -> int:
+    for name, (available, description) in available_kernel_providers().items():
+        status = "available" if available else "unavailable"
+        print(f"{name:8s} [{status}] {description}")
     return 0
 
 
@@ -195,6 +234,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         memory_budget=args.memory_budget,
         spill_dir=args.spill_dir,
+        spill_codec=args.spill_codec,
+        kernel_provider=args.kernel_provider,
         plan_concurrency=not args.no_plan_concurrency,
         num_pivots=args.num_pivots,
         pivot_selection=args.pivot_selection,
@@ -205,6 +246,9 @@ def _cmd_join(args: argparse.Namespace) -> int:
     print(f"algorithm            : {outcome.algorithm}")
     print(f"engine               : {args.engine}"
           + (f" ({args.workers} workers)" if args.workers else ""))
+    print(f"kernel provider      : {args.kernel_provider}")
+    if args.spill_codec != "none":
+        print(f"spill codec          : {args.spill_codec}")
     print(f"|R| = |S|            : {len(data)} ({data.name})")
     print(f"k                    : {args.k}")
     print(f"join output pairs    : {outcome.result.total_pairs()}")
@@ -241,6 +285,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list_algorithms()
     if args.list_engines:
         return _cmd_list_engines()
+    if args.list_kernel_providers:
+        return _cmd_list_kernel_providers()
     if args.command == "info":
         return _cmd_info()
     if args.command == "join":

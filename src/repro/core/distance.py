@@ -184,17 +184,23 @@ class EuclideanMetric(Metric):
 
     name = "l2"
 
+    # All three kernels reduce the squared differences with numpy's pairwise
+    # summation (``np.sum``) rather than ``np.dot``/``np.einsum``: BLAS-style
+    # accumulation depends on the SIMD width of the host, while the pairwise
+    # tree is a fixed IEEE operation order that compiled kernel providers
+    # replicate exactly, keeping results bit-identical across providers.
+
     def _pair(self, a: np.ndarray, b: np.ndarray) -> float:
         diff = a - b
-        return math.sqrt(float(np.dot(diff, diff)))
+        return math.sqrt(float(np.sum(diff * diff)))
 
     def _one_to_many(self, a: np.ndarray, bs: np.ndarray) -> np.ndarray:
         diff = bs - a
-        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return np.sqrt(np.sum(diff * diff, axis=1))
 
     def _pairwise(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
         diff = ys - xs
-        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return np.sqrt(np.sum(diff * diff, axis=1))
 
 
 class ManhattanMetric(Metric):

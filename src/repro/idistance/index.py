@@ -42,6 +42,12 @@ class IDistanceIndex:
         selectivity, B+-tree traversal does not.
     order:
         B+-tree node order.
+    kbest_factory:
+        Callable ``k -> k-best accumulator`` used by :meth:`knn` (defaults
+        to :class:`~repro.core.knn.KBestList`); kernel providers inject
+        their own implementation here — any drop-in with the same
+        ``update``/``theta``/``as_arrays`` contract keeps results
+        bit-identical.
     """
 
     def __init__(
@@ -51,7 +57,9 @@ class IDistanceIndex:
         pivots: np.ndarray,
         metric: Metric,
         order: int = 64,
+        kbest_factory=KBestList,
     ) -> None:
+        self._kbest_factory = kbest_factory
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         ids = np.asarray(ids, dtype=np.int64)
         if points.shape[0] != ids.shape[0]:
@@ -112,7 +120,7 @@ class IDistanceIndex:
         query_pivot = self.metric.distances(query, self.pivots)
         max_upper = float(self._upper[np.isfinite(self._upper)].max())
         radius = initial_radius if initial_radius else max(max_upper / 8.0, 1e-12)
-        kbest = KBestList(k)
+        kbest = self._kbest_factory(k)
         # per-partition key range already scanned (inclusive); inverted
         # sentinel means untouched
         scanned: list[tuple[float, float]] = [(np.inf, -np.inf)] * self.num_partitions

@@ -88,6 +88,19 @@ class JoinConfig:
     :class:`~repro.mapreduce.plan.PlanCache` re-executes only the stages
     whose inputs changed — e.g. one PGBJ partitioning job shared by a whole
     k-sweep.
+
+    ``kernel_provider`` selects the reducer-side kernel implementation
+    (:mod:`repro.joins.kernel_providers`): ``numpy`` (the oracle), ``numba``
+    (JIT-compiled; transparent numpy fallback when the library is missing)
+    or the default ``auto`` (per call by batch shape).  Every provider
+    produces bit-identical results, ``pairs_computed`` and shuffle
+    accounting — the choice only moves wall-clock.
+
+    ``spill_codec`` compresses spill-segment value payloads on disk
+    (``none``/``zlib`` always available, ``lz4``/``zstd`` when installed).
+    Any codec other than ``none`` implies the out-of-core shuffle backend.
+    Accounted shuffle bytes stay the *uncompressed* sizes, so accounting is
+    bit-identical to the in-memory oracle — only the file bytes shrink.
     """
 
     k: int = 10
@@ -99,6 +112,8 @@ class JoinConfig:
     max_workers: int | None = None
     memory_budget: int | None = None
     spill_dir: str | None = None
+    kernel_provider: str = "auto"
+    spill_codec: str = "none"
     plan_concurrency: bool = True
     shared_executor: Executor | None = field(default=None, compare=False, repr=False)
     plan_cache: PlanCache | None = field(default=None, compare=False, repr=False)
@@ -119,11 +134,29 @@ class JoinConfig:
             raise ValueError("max_workers must be >= 1")
         if self.memory_budget is not None and self.memory_budget < 0:
             raise ValueError("memory_budget must be >= 0 (or None for in-memory)")
+        from repro.joins.kernel_providers import KERNEL_PROVIDERS
+
+        if self.kernel_provider not in KERNEL_PROVIDERS:
+            raise ValueError(
+                f"unknown kernel provider {self.kernel_provider!r}; "
+                f"available: {', '.join(sorted(KERNEL_PROVIDERS))}"
+            )
+        from repro.mapreduce.shuffle import SEGMENT_CODECS
+
+        if self.spill_codec not in SEGMENT_CODECS:
+            raise ValueError(
+                f"unknown spill codec {self.spill_codec!r}; "
+                f"available: {', '.join(SEGMENT_CODECS)}"
+            )
 
     @property
     def out_of_core(self) -> bool:
         """Whether the join runs its shuffle (and DFS chunks) on disk."""
-        return self.memory_budget is not None or self.spill_dir is not None
+        return (
+            self.memory_budget is not None
+            or self.spill_dir is not None
+            or self.spill_codec != "none"
+        )
 
     def with_changes(self, **kwargs) -> "JoinConfig":
         """A copy with some fields replaced (sweep helper).
@@ -155,6 +188,7 @@ class JoinConfig:
             runtime_kwargs.setdefault("shuffle", "spill")
             runtime_kwargs.setdefault("memory_budget", self.memory_budget)
             runtime_kwargs.setdefault("spill_dir", self.spill_dir)
+            runtime_kwargs.setdefault("spill_codec", self.spill_codec)
         return LocalRuntime(
             engine=self.engine, max_workers=self.max_workers, **runtime_kwargs
         )

@@ -33,6 +33,7 @@ from .base import (
     StageStats,
 )
 from .block_framework import block_of_ids
+from .kernel_providers import get_kernel_provider
 from .registry import JoinPlan, JoinSpec, register_join, run_join
 
 __all__ = ["BroadcastJoin", "plan_broadcast"]
@@ -75,6 +76,7 @@ class BroadcastReducer(Reducer):
     def setup(self, ctx: Context) -> None:
         self._metric = get_metric(ctx.cache["metric_name"])
         self._k = int(ctx.cache["k"])
+        self._provider = get_kernel_provider(ctx.cache.get("kernel_provider", "auto"))
 
     def reduce(self, key, values, ctx: Context):
         block = RecordBlock.gather(values)
@@ -88,7 +90,9 @@ class BroadcastReducer(Reducer):
         r_ids = block.object_ids[r_rows]
         for start in range(0, r_rows.size, _SCAN_CHUNK):
             chunk = slice(start, start + _SCAN_CHUNK)
-            dists = self._metric.cross_distances(r_points[chunk], s_points)
+            dists = self._provider.cross_distances(
+                self._metric, r_points[chunk], s_points
+            )
             for offset, r_id in enumerate(r_ids[chunk]):
                 selected = select_k_smallest(dists[offset], s_ids, self._k)
                 yield int(r_id), (s_ids[selected], dists[offset][selected])
@@ -110,7 +114,11 @@ def plan_broadcast(r: Dataset, s: Dataset, config: JoinConfig) -> JoinPlan:
             reducer_factory=BroadcastReducer,
             partitioner=ModPartitioner(),
             num_reducers=config.num_reducers,
-            cache={"metric_name": config.metric_name, "k": config.k},
+            cache={
+                "metric_name": config.metric_name,
+                "k": config.k,
+                "kernel_provider": config.kernel_provider,
+            },
         )
         return job, dataset_splits(r, s, config.split_size)
 

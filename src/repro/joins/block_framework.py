@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.knn import KBestList
 from repro.mapreduce.hdfs import DistributedFileSystem
 from repro.mapreduce.job import BlockBufferingMapper, Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import HashPartitioner, ModPartitioner
@@ -21,6 +20,7 @@ from repro.mapreduce.splits import split_records
 from repro.mapreduce.types import RecordBlock
 
 from .base import REPLICA_GROUP, REPLICA_NAME, JoinConfig
+from .kernel_providers import get_kernel_provider
 
 __all__ = [
     "block_of",
@@ -101,6 +101,7 @@ class CandidateMergeReducer(Reducer):
 
     def setup(self, ctx: Context) -> None:
         self._k = int(ctx.cache["k"])
+        self._provider = get_kernel_provider(ctx.cache.get("kernel_provider", "auto"))
 
     def reduce(self, key, values, ctx: Context):
         best_of: dict[int, float] = {}
@@ -109,7 +110,7 @@ class CandidateMergeReducer(Reducer):
                 previous = best_of.get(object_id)
                 if previous is None or dist < previous:
                     best_of[object_id] = dist
-        kbest = KBestList(self._k)
+        kbest = self._provider.kbest(self._k)
         kbest.update(
             np.fromiter(best_of.values(), dtype=np.float64, count=len(best_of)),
             np.fromiter(best_of.keys(), dtype=np.int64, count=len(best_of)),
@@ -154,7 +155,7 @@ def merge_job_spec(config: JoinConfig) -> MapReduceJob:
         reducer_factory=CandidateMergeReducer,
         partitioner=HashPartitioner(),
         num_reducers=config.num_reducers,
-        cache={"k": config.k},
+        cache={"k": config.k, "kernel_provider": config.kernel_provider},
     )
 
 

@@ -32,9 +32,10 @@ from repro.mapreduce.plan import JobGraph
 
 from .base import PAIRS_GROUP, PAIRS_NAME, BlockJoinConfig
 from .block_framework import block_join_spec, chain_splits
+from .kernel_providers import get_kernel_provider
 from .kernels import (
+    ScratchPool,
     build_partition_blocks,
-    knn_join_kernel,
     local_ring_stats,
     local_theta,
 )
@@ -53,6 +54,8 @@ class ClosestPairsBlockReducer(Reducer):
         self._pivots: np.ndarray = ctx.cache["pivots"]
         self._pdm: np.ndarray = ctx.cache["pivot_dist_matrix"]
         self._exclude_self = bool(ctx.cache["exclude_self"])
+        self._provider = get_kernel_provider(ctx.cache.get("kernel_provider", "auto"))
+        self._scratch = ScratchPool()
 
     def reduce(self, key, values, ctx: Context):
         r_blocks, s_blocks = build_partition_blocks(values)
@@ -65,9 +68,9 @@ class ClosestPairsBlockReducer(Reducer):
         }
         # max-heap (negated) of the k smallest pairs seen in this block
         heap: list[tuple[float, int, int]] = []
-        for r_id, ids, dists in knn_join_kernel(
+        for r_id, ids, dists in self._provider.knn_join_kernel(
             self._metric, self._k, r_blocks, s_blocks, thetas, ring_stats,
-            self._pivots, self._pdm,
+            self._pivots, self._pdm, scratch=self._scratch,
         ):
             for s_id, dist in zip(ids.tolist(), dists.tolist()):
                 if self._exclude_self and s_id == r_id:
@@ -151,6 +154,7 @@ def plan_closest_pairs(
                 "pivots": state["pivots"],
                 "pivot_dist_matrix": pdm,
                 "exclude_self": exclude_self,
+                "kernel_provider": config.kernel_provider,
             },
         )
         return job2, chain_splits(config, dfs, "partitioned", job1.outputs)

@@ -36,6 +36,7 @@ from .base import (
     StageStats,
 )
 from .block_framework import block_join_spec, chain_splits, merge_job_spec
+from .kernel_providers import get_kernel_provider
 from .registry import JoinPlan, JoinSpec, register_join, run_join
 
 __all__ = ["IJoinBlock", "plan_ijoin"]
@@ -49,6 +50,7 @@ class IJoinBlockReducer(Reducer):
         self._k = int(ctx.cache["k"])
         self._num_pivots = int(ctx.cache["index_pivots"])
         self._seed = int(ctx.cache["seed"])
+        self._provider = get_kernel_provider(ctx.cache.get("kernel_provider", "auto"))
 
     def reduce(self, key, values, ctx: Context):
         block = RecordBlock.gather(values)
@@ -61,7 +63,13 @@ class IJoinBlockReducer(Reducer):
         rng = np.random.default_rng(self._seed + int(key))
         num_pivots = min(self._num_pivots, s_points.shape[0])
         pivot_rows = rng.choice(s_points.shape[0], size=num_pivots, replace=False)
-        index = IDistanceIndex(s_points, s_ids, s_points[pivot_rows], self._metric)
+        index = IDistanceIndex(
+            s_points,
+            s_ids,
+            s_points[pivot_rows],
+            self._metric,
+            kbest_factory=self._provider.kbest,
+        )
         r_points = block.points[r_rows]
         for row, r_id in enumerate(block.object_ids[r_rows]):
             ids, dists = index.knn(r_points[row], self._k)
@@ -91,6 +99,7 @@ def plan_ijoin(r: Dataset, s: Dataset, config: BlockJoinConfig) -> JoinPlan:
                 # "sampling-based" reference selection
                 "index_pivots": max(4, config.num_pivots // max(config.num_blocks, 1)),
                 "seed": config.seed,
+                "kernel_provider": config.kernel_provider,
             },
         )
         return job, dataset_splits(r, s, config.split_size)

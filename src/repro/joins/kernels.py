@@ -55,6 +55,7 @@ from repro.mapreduce.types import ObjectRecord, RecordBlock, group_rows_by
 __all__ = [
     "RPartitionBlock",
     "SPartitionBlock",
+    "ScratchPool",
     "build_partition_blocks",
     "build_r_blocks",
     "build_s_blocks",
@@ -62,6 +63,7 @@ __all__ = [
     "local_theta",
     "knn_join_kernel",
     "knn_join_kernel_reference",
+    "scan_partition_numpy",
 ]
 
 
@@ -197,6 +199,44 @@ _ID_SENTINEL = np.iinfo(np.int64).max
 _PAIR_CHUNK = 1 << 19
 
 
+class ScratchPool:
+    """Reusable work arrays for the kernel scans, keyed by shape bucket.
+
+    A reducer performs thousands of gathered scans per job, each needing the
+    same few work arrays (two ``(pairs, d)`` gather buffers, the k-best merge
+    matrices); allocating them per scan dominates small-batch overhead.  The
+    pool hands out views over buffers whose leading dimension is rounded up
+    to a power of two, so scans of similar size share storage instead of
+    churning the allocator.
+
+    Buffers taken since the last :meth:`reset` stay checked out (a scan may
+    hold several live at once); ``reset()`` returns them all to the free
+    lists.  Callers must treat a buffer as dead once the scan that took it
+    completes — the contract ``_scan_segments`` already satisfies by never
+    holding state across calls.
+    """
+
+    def __init__(self) -> None:
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self._taken: list[tuple[tuple, np.ndarray]] = []
+
+    def reset(self) -> None:
+        """Return every outstanding buffer to its free list."""
+        for key, buf in self._taken:
+            self._free.setdefault(key, []).append(buf)
+        self._taken.clear()
+
+    def take(self, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """A writable ``shape`` view over a pooled buffer (contents stale)."""
+        rows = int(shape[0])
+        bucket = max(64, 1 << max(0, rows - 1).bit_length())
+        key = (np.dtype(dtype), tuple(int(n) for n in shape[1:]), bucket)
+        stack = self._free.get(key)
+        buf = stack.pop() if stack else np.empty((bucket, *key[1]), dtype=key[0])
+        self._taken.append((key, buf))
+        return buf[:rows]
+
+
 def _chunk_bounds(lengths: np.ndarray, cap: int) -> Iterator[tuple[int, int]]:
     """Split segment list ``lengths`` into ``[lo, hi)`` runs of <= cap pairs.
 
@@ -226,6 +266,7 @@ def _scan_segments(
     best_dists: np.ndarray,
     best_ids: np.ndarray,
     theta: np.ndarray,
+    scratch: ScratchPool | None = None,
 ) -> None:
     """One gathered scan: ring slices of one S-partition for many R rows.
 
@@ -244,15 +285,24 @@ def _scan_segments(
       lexicographic tie-breaking as ``np.lexsort``, so results match the
       per-record :class:`~repro.core.knn.ReferenceKBestList` exactly.
 
-    Updates ``best_dists``/``best_ids``/``theta`` in place.
+    Updates ``best_dists``/``best_ids``/``theta`` in place.  ``scratch``
+    supplies the gather and merge work arrays (pooled across scans within a
+    job); values written through it are identical to the fresh-allocation
+    code it replaced, so results are unchanged.
     """
+    if scratch is None:
+        scratch = ScratchPool()
+    scratch.reset()
     offsets = np.cumsum(lengths) - lengths
     total = int(offsets[-1] + lengths[-1])
     # flat pair list: seg_of_pair repeats each segment, col walks its slice
     col = np.arange(total) - np.repeat(offsets - starts, lengths)
     seg_of_pair = np.repeat(np.arange(rows.size), lengths)
     r_sub = r_points[rows]  # small, cache-resident gather source
-    flat_dists = metric.pair_distances(r_sub[seg_of_pair], s_block.points[col])
+    dims = r_points.shape[1]
+    r_gather = np.take(r_sub, seg_of_pair, axis=0, out=scratch.take((total, dims)))
+    s_gather = np.take(s_block.points, col, axis=0, out=scratch.take((total, dims)))
+    flat_dists = metric.pair_distances(r_gather, s_gather)
 
     kth_per_segment = best_dists[rows, k - 1]
     keep = np.flatnonzero(flat_dists <= kth_per_segment[seg_of_pair])
@@ -274,15 +324,21 @@ def _scan_segments(
     picked = order[np.repeat(kept_offsets[active], take) + slot]
 
     num_active = active.size
-    new_dists = np.full((num_active, k), np.inf, dtype=np.float64)
-    new_ids = np.full((num_active, k), _ID_SENTINEL, dtype=np.int64)
+    new_dists = scratch.take((num_active, k))
+    new_dists.fill(np.inf)
+    new_ids = scratch.take((num_active, k), dtype=np.int64)
+    new_ids.fill(_ID_SENTINEL)
     scatter_row = np.repeat(np.arange(num_active), take)
     new_dists[scatter_row, slot] = dists_kept[picked]
     new_ids[scatter_row, slot] = ids_kept[picked]
 
     updated = rows[active]
-    merged_dists = np.concatenate([best_dists[updated], new_dists], axis=1)
-    merged_ids = np.concatenate([best_ids[updated], new_ids], axis=1)
+    merged_dists = scratch.take((num_active, 2 * k))
+    merged_dists[:, :k] = best_dists[updated]
+    merged_dists[:, k:] = new_dists
+    merged_ids = scratch.take((num_active, 2 * k), dtype=np.int64)
+    merged_ids[:, :k] = best_ids[updated]
+    merged_ids[:, k:] = new_ids
     lane = np.arange(num_active)[:, None]
     by_id = np.argsort(merged_ids, axis=1, kind="stable")
     by_dist = np.argsort(merged_dists[lane, by_id], axis=1, kind="stable")
@@ -296,6 +352,65 @@ def _scan_segments(
     theta[updated] = np.minimum(theta[updated], best_dists[updated, k - 1] + PRUNE_EPS)
 
 
+def scan_partition_numpy(
+    metric: Metric,
+    k: int,
+    r_points: np.ndarray,
+    s_block: SPartitionBlock,
+    rows: np.ndarray,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    best_dists: np.ndarray,
+    best_ids: np.ndarray,
+    theta: np.ndarray,
+    scratch: ScratchPool | None = None,
+) -> None:
+    """The numpy per-partition scan: strip-mined gathered batches.
+
+    This is the pluggable unit of :func:`knn_join_kernel` — one S-partition's
+    admitted ring slices for all surviving R rows, folded into the running
+    k-best state.  Kernel providers substitute compiled equivalents; every
+    implementation must fold exactly the ``sum(lengths)`` admitted pairs
+    (counted through the metric) and leave bit-identical
+    ``best_dists``/``best_ids``/``theta``.
+    """
+    # strip-mine long slices: after the first strip every row's k-th
+    # distance is a real bound, so later strips mostly fail the
+    # cheap prefilter instead of flooding the candidate sort.  The
+    # k-best fold is order-independent, every admitted pair is still
+    # computed — results and pair counts are unchanged.
+    strip = max(128, 16 * k)
+    longest = int(lengths.max())
+    if longest <= strip and int(lengths.sum()) <= _PAIR_CHUNK:
+        # dense-pivot common case: one batch, no strip bookkeeping
+        _scan_segments(
+            metric, k, r_points, s_block, rows, starts, lengths,
+            best_dists, best_ids, theta, scratch,
+        )
+        return
+    offset = 0
+    while offset < longest:
+        in_strip = np.flatnonzero(lengths > offset)
+        strip_rows = rows[in_strip]
+        strip_starts = starts[in_strip] + offset
+        strip_lengths = np.minimum(lengths[in_strip] - offset, strip)
+        for lo, hi in _chunk_bounds(strip_lengths, _PAIR_CHUNK):
+            _scan_segments(
+                metric,
+                k,
+                r_points,
+                s_block,
+                strip_rows[lo:hi],
+                strip_starts[lo:hi],
+                strip_lengths[lo:hi],
+                best_dists,
+                best_ids,
+                theta,
+                scratch,
+            )
+        offset += strip
+
+
 def knn_join_kernel(
     metric: Metric,
     k: int,
@@ -307,6 +422,8 @@ def knn_join_kernel(
     pivot_dist_matrix: np.ndarray,
     use_hyperplane_pruning: bool = True,
     use_ring_pruning: bool = True,
+    scan=None,
+    scratch: ScratchPool | None = None,
 ) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
     """Run Algorithm 3's reduce phase; yields ``(r_id, neighbor_ids, dists)``.
 
@@ -328,9 +445,21 @@ def knn_join_kernel(
         Pivot coordinates and the ``|p_i, p_j|`` matrix.
     use_hyperplane_pruning, use_ring_pruning:
         Ablation switches (both on reproduces the paper).
+    scan:
+        The per-partition scan implementation (defaults to
+        :func:`scan_partition_numpy`); kernel providers pass their own.
+        Every implementation folds the same admitted pairs with the same
+        IEEE operations, so the choice never changes results or counts.
+    scratch:
+        A :class:`ScratchPool` shared across kernel invocations (reducers
+        keep one per worker); a private pool is created when omitted.
     """
     if not s_blocks:
         raise ValueError("reducer received R objects but no S objects")
+    if scan is None:
+        scan = scan_partition_numpy
+    if scratch is None:
+        scratch = ScratchPool()
     present = sorted(s_blocks)
     present_arr = np.asarray(present, dtype=np.int64)
     present_points = pivot_points[present]
@@ -342,15 +471,32 @@ def knn_join_kernel(
         r_block = r_blocks[pid_r]
         num_rows = r_block.ids.shape[0]
         pdm_row = pivot_dist_matrix[pid_r]
-        # line 14: scan S-partitions in ascending |p_i, p_jl| order (stable,
-        # so equidistant cells keep the same scan order as sorted())
-        order = np.argsort(pdm_row[present_arr], kind="stable")
+        own_dists = r_block.pivot_dists
+        num_present = len(present)
+        if num_present == 1:
+            # low-pivot fast path: a single candidate cell needs no scan
+            # order, and (when it is the row's own cell) the hyperplane
+            # masks below are skipped wholesale rather than run degenerate
+            order = np.zeros(1, dtype=np.intp)
+        else:
+            # line 14: scan S-partitions in ascending |p_i, p_jl| order
+            # (stable, so equidistant cells keep the scan order of sorted())
+            order = np.argsort(pdm_row[present_arr], kind="stable")
         # |r, p_j| for every r of the cell and every present S pivot — these
-        # are object-pivot pairs and count toward selectivity (Equation 13)
-        dr_to_pivots = metric.cross_distances(r_block.points, present_points)
+        # are object-pivot pairs and count toward selectivity (Equation 13).
+        # With fewer pivots than rows the matrix is filled pivot-by-pivot
+        # (one vectorized one-to-many per *pivot* instead of per row): every
+        # metric kernel is elementwise symmetric in the difference, so the
+        # transposed pass produces bit-identical floats, and the per-call
+        # accounting sums to the same ``num_rows * num_present`` pairs.
+        if num_present < num_rows:
+            dr_to_pivots = np.empty((num_rows, num_present), dtype=np.float64)
+            for j in range(num_present):
+                dr_to_pivots[:, j] = metric.distances(present_points[j], r_block.points)
+        else:
+            dr_to_pivots = metric.cross_distances(r_block.points, present_points)
 
         r_points = r_block.points
-        own_dists = r_block.pivot_dists
         theta = np.full(num_rows, thetas[pid_r], dtype=np.float64)
         best_dists = np.full((num_rows, k), np.inf, dtype=np.float64)
         best_ids = np.full((num_rows, k), _ID_SENTINEL, dtype=np.int64)
@@ -371,9 +517,22 @@ def knn_join_kernel(
             block = s_blocks[pid_s]
             if use_ring_pruning:
                 lower, upper = ring_stats[pid_s]
-                starts, stops = ring_slices(
-                    block.pivot_dists, lower, upper, dist_r_pj[rows], theta[rows]
-                )
+                sorted_dists = block.pivot_dists
+                if (
+                    sorted_dists[0] >= lower - PRUNE_EPS
+                    and sorted_dists[-1] <= upper + PRUNE_EPS
+                    and not np.isfinite(theta[rows]).any()
+                ):
+                    # unbounded-theta fast path (first partitions of a PBJ
+                    # block smaller than k): every ring degenerates to the
+                    # whole slice — two scalar comparisons replace the two
+                    # batched searchsorteds, with provably equal slices
+                    starts = np.zeros(rows.size, dtype=np.intp)
+                    stops = np.full(rows.size, len(block), dtype=np.intp)
+                else:
+                    starts, stops = ring_slices(
+                        sorted_dists, lower, upper, dist_r_pj[rows], theta[rows]
+                    )
             else:
                 starts = np.zeros(rows.size, dtype=np.intp)
                 stops = np.full(rows.size, len(block), dtype=np.intp)
@@ -381,43 +540,19 @@ def knn_join_kernel(
             occupied = np.flatnonzero(lengths > 0)
             if occupied.size == 0:
                 continue
-            rows = rows[occupied]
-            starts = starts[occupied]
-            lengths = lengths[occupied]
-            # strip-mine long slices: after the first strip every row's k-th
-            # distance is a real bound, so later strips mostly fail the
-            # cheap prefilter instead of flooding the candidate sort.  The
-            # k-best fold is order-independent, every admitted pair is still
-            # computed — results and pair counts are unchanged.
-            strip = max(128, 16 * k)
-            longest = int(lengths.max())
-            if longest <= strip and int(lengths.sum()) <= _PAIR_CHUNK:
-                # dense-pivot common case: one batch, no strip bookkeeping
-                _scan_segments(
-                    metric, k, r_points, block, rows, starts, lengths,
-                    best_dists, best_ids, theta,
-                )
-                continue
-            offset = 0
-            while offset < longest:
-                in_strip = np.flatnonzero(lengths > offset)
-                strip_rows = rows[in_strip]
-                strip_starts = starts[in_strip] + offset
-                strip_lengths = np.minimum(lengths[in_strip] - offset, strip)
-                for lo, hi in _chunk_bounds(strip_lengths, _PAIR_CHUNK):
-                    _scan_segments(
-                        metric,
-                        k,
-                        r_points,
-                        block,
-                        strip_rows[lo:hi],
-                        strip_starts[lo:hi],
-                        strip_lengths[lo:hi],
-                        best_dists,
-                        best_ids,
-                        theta,
-                    )
-                offset += strip
+            scan(
+                metric,
+                k,
+                r_points,
+                block,
+                rows[occupied],
+                starts[occupied],
+                lengths[occupied],
+                best_dists,
+                best_ids,
+                theta,
+                scratch,
+            )
         for row in range(num_rows):
             # unfilled slots are +inf / sentinel padding at the tail
             count = int(np.searchsorted(best_dists[row], np.inf, side="left"))

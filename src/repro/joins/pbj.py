@@ -37,9 +37,10 @@ from .base import (
     StageStats,
 )
 from .block_framework import block_join_spec, chain_splits, merge_job_spec
+from .kernel_providers import get_kernel_provider
 from .kernels import (
+    ScratchPool,
     build_partition_blocks,
-    knn_join_kernel,
     local_ring_stats,
     local_theta,
 )
@@ -57,6 +58,8 @@ class PbjJoinReducer(Reducer):
         self._k = int(ctx.cache["k"])
         self._pivots: np.ndarray = ctx.cache["pivots"]
         self._pdm: np.ndarray = ctx.cache["pivot_dist_matrix"]
+        self._provider = get_kernel_provider(ctx.cache.get("kernel_provider", "auto"))
+        self._scratch = ScratchPool()
 
     def reduce(self, key, values, ctx: Context):
         r_blocks, s_blocks = build_partition_blocks(values)
@@ -67,7 +70,7 @@ class PbjJoinReducer(Reducer):
             pid: local_theta(block.local_upper(), self._pdm[pid], s_blocks, self._k)
             for pid, block in r_blocks.items()
         }
-        for r_id, ids, dists in knn_join_kernel(
+        for r_id, ids, dists in self._provider.knn_join_kernel(
             self._metric,
             self._k,
             r_blocks,
@@ -76,6 +79,7 @@ class PbjJoinReducer(Reducer):
             ring_stats,
             self._pivots,
             self._pdm,
+            scratch=self._scratch,
         ):
             yield r_id, (ids, dists)
 
@@ -107,6 +111,7 @@ def plan_pbj(r: Dataset, s: Dataset, config: BlockJoinConfig) -> JoinPlan:
                 "k": config.k,
                 "pivots": state["pivots"],
                 "pivot_dist_matrix": pdm,
+                "kernel_provider": config.kernel_provider,
             },
         )
         return job2, chain_splits(config, dfs, "partitioned", job1.outputs)

@@ -43,7 +43,8 @@ from .base import (
     PgbjConfig,
     StageStats,
 )
-from .kernels import build_partition_blocks, knn_join_kernel
+from .kernel_providers import get_kernel_provider
+from .kernels import ScratchPool, build_partition_blocks
 from .partition_job import make_pivot_selector, merge_summaries, partition_stage
 from .registry import JoinPlan, JoinSpec, register_join, run_join
 
@@ -103,12 +104,16 @@ class PgbjJoinReducer(Reducer):
         self._pdm: np.ndarray = ctx.cache["pivot_dist_matrix"]
         self._use_hyperplane = bool(ctx.cache["use_hyperplane_pruning"])
         self._use_ring = bool(ctx.cache["use_ring_pruning"])
+        # providers travel as names (picklable across process engines) and
+        # resolve to process-local singletons; the scratch pool is per-worker
+        self._provider = get_kernel_provider(ctx.cache.get("kernel_provider", "auto"))
+        self._scratch = ScratchPool()
 
     def reduce(self, key, values, ctx: Context):
         r_blocks, s_blocks = build_partition_blocks(values)
         if not r_blocks:
             return
-        for r_id, ids, dists in knn_join_kernel(
+        for r_id, ids, dists in self._provider.knn_join_kernel(
             self._metric,
             self._k,
             r_blocks,
@@ -119,6 +124,7 @@ class PgbjJoinReducer(Reducer):
             self._pdm,
             use_hyperplane_pruning=self._use_hyperplane,
             use_ring_pruning=self._use_ring,
+            scratch=self._scratch,
         ):
             yield r_id, (ids, dists)
 
@@ -173,6 +179,7 @@ def plan_pgbj(r: Dataset, s: Dataset, config: PgbjConfig) -> JoinPlan:
                 "pivot_dist_matrix": pdm,
                 "use_hyperplane_pruning": config.use_hyperplane_pruning,
                 "use_ring_pruning": config.use_ring_pruning,
+                "kernel_provider": config.kernel_provider,
             },
         )
         return job2, dfs.splits("partitioned")

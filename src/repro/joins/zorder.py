@@ -50,6 +50,7 @@ from .base import (
     StageStats,
 )
 from .block_framework import chain_splits, merge_job_spec
+from .kernel_providers import get_kernel_provider
 from .registry import JoinPlan, JoinSpec, register_join, run_join
 
 __all__ = ["ZOrderKnnJoin", "ZOrderConfig", "plan_zorder", "recall_against"]
@@ -95,6 +96,7 @@ class ZOrderRoutingMapper(Mapper):
         self._boundaries: list[list[int]] = ctx.cache["boundaries"]
         self._blocks_per_shift = int(ctx.cache["blocks_per_shift"])
         self._margins: list[int] = ctx.cache["margins"]
+        self._provider = get_kernel_provider(ctx.cache.get("kernel_provider", "auto"))
         self._buffer: list = []
 
     def _block_of(self, shift_index: int, z_value: int) -> int:
@@ -111,7 +113,9 @@ class ZOrderRoutingMapper(Mapper):
         self._buffer = []
         points = np.array([record.point for record in records], dtype=np.float64)
         for shift_index in range(self._shifts.shape[0]):
-            z_values = self._transform.z_values(points + self._shifts[shift_index])
+            z_values = self._provider.morton_codes(
+                self._transform, points + self._shifts[shift_index]
+            )
             for record, z_value in zip(records, z_values):
                 block = self._block_of(shift_index, z_value)
                 reducer_key = shift_index * self._blocks_per_shift + block
@@ -145,6 +149,7 @@ class ZOrderJoinReducer(Reducer):
         self._metric = get_metric(ctx.cache["metric_name"])
         self._k = int(ctx.cache["k"])
         self._per_side = int(ctx.cache["candidates_per_side"])
+        self._provider = get_kernel_provider(ctx.cache.get("kernel_provider", "auto"))
 
     def reduce(self, key, values, ctx: Context):
         # values may be a one-shot stream (spill backend): split in one pass
@@ -164,7 +169,9 @@ class ZOrderJoinReducer(Reducer):
             stop = min(len(s_items), center + self._per_side)
             if start >= stop:
                 continue
-            dists = self._metric.distances(r_point, s_points[start:stop])
+            dists = self._provider.distances(
+                self._metric, r_point, s_points[start:stop]
+            )
             order = np.lexsort((s_ids[start:stop], dists))[: self._k]
             yield r_id, (s_ids[start:stop][order], dists[order])
 
@@ -234,6 +241,7 @@ def plan_zorder(r: Dataset, s: Dataset, config: ZOrderConfig) -> JoinPlan:
                 "metric_name": config.metric_name,
                 "k": config.k,
                 "candidates_per_side": config.candidates_per_side,
+                "kernel_provider": config.kernel_provider,
             },
         )
         return job, dataset_splits(r, s, config.split_size)

@@ -44,16 +44,20 @@ from .serialization import (
 from .shuffle import (
     DEFAULT_MERGE_FAN_IN,
     DEFAULT_SHUFFLE,
+    SEGMENT_CODECS,
     InMemoryShuffleStore,
     MapManifest,
     Segment,
+    SegmentCodec,
     ShuffleStore,
     SpillShuffleStore,
+    available_segment_codecs,
     available_shuffle_backends,
     get_shuffle_store,
     iter_segment,
     merged_segment_groups,
     planned_merge_passes,
+    resolve_segment_codec,
     write_segment,
 )
 from .splits import (
@@ -113,6 +117,10 @@ __all__ = [
     "SegmentChunk",
     "get_shuffle_store",
     "available_shuffle_backends",
+    "SegmentCodec",
+    "SEGMENT_CODECS",
+    "available_segment_codecs",
+    "resolve_segment_codec",
     "DEFAULT_SHUFFLE",
     "write_segment",
     "iter_segment",

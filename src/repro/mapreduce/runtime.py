@@ -289,9 +289,11 @@ class LocalRuntime:
     ``shuffle`` selects the shuffle backend by name (``memory``, the
     historical default, or the out-of-core ``spill``) or accepts a ready
     :class:`~repro.mapreduce.shuffle.ShuffleStore`.  Setting ``memory_budget``
-    (bytes of buffered map output per task before a spill run) or
-    ``spill_dir`` implies ``spill``.  Both backends produce bit-identical
-    results and accounting under every engine.
+    (bytes of buffered map output per task before a spill run), ``spill_dir``,
+    or a non-``"none"`` ``spill_codec`` (segment value-payload compression,
+    see :data:`~repro.mapreduce.shuffle.SEGMENT_CODECS`) implies ``spill``.
+    Both backends produce bit-identical results and accounting under every
+    engine and codec.
 
     The runtime has an explicit lifecycle: :meth:`close` tears down the
     executor and shuffle store it constructed (idempotent; instances passed
@@ -310,6 +312,7 @@ class LocalRuntime:
         shuffle: str | ShuffleStore = DEFAULT_SHUFFLE,
         memory_budget: int | None = None,
         spill_dir: str | None = None,
+        spill_codec: str = "none",
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -323,11 +326,16 @@ class LocalRuntime:
         else:
             backend = shuffle
             if backend == DEFAULT_SHUFFLE and (
-                memory_budget is not None or spill_dir is not None
+                memory_budget is not None
+                or spill_dir is not None
+                or spill_codec != "none"
             ):
                 backend = "spill"  # the knobs only mean something out-of-core
             self.shuffle_store = get_shuffle_store(
-                backend, memory_budget=memory_budget, spill_dir=spill_dir
+                backend,
+                memory_budget=memory_budget,
+                spill_dir=spill_dir,
+                codec=spill_codec,
             )
 
     @property

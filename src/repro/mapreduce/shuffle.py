@@ -44,11 +44,21 @@ import shutil
 import struct
 import tempfile
 import threading
+import zlib
 from abc import ABC, abstractmethod
 from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
+
+try:  # optional high-throughput codecs; the stdlib ones always work
+    import lz4.frame as _lz4_frame
+except ImportError:  # pragma: no cover - exercised on the native CI leg
+    _lz4_frame = None
+try:
+    import zstandard as _zstandard
+except ImportError:  # pragma: no cover - exercised on the native CI leg
+    _zstandard = None
 
 from .serialization import (
     decode_record_block,
@@ -75,6 +85,11 @@ __all__ = [
     "planned_merge_passes",
     "get_shuffle_store",
     "available_shuffle_backends",
+    "SegmentCodec",
+    "SEGMENT_CODECS",
+    "read_segment_codec",
+    "available_segment_codecs",
+    "resolve_segment_codec",
     "DEFAULT_SHUFFLE",
     "DEFAULT_MERGE_FAN_IN",
 ]
@@ -87,25 +102,105 @@ DEFAULT_SHUFFLE = "memory"
 # A segment file is one sorted run of (key, value) entries destined for one
 # reducer:
 #
-#   header:  magic "SSEG" | version u16 | entry_count u32
+#   header:  magic "SSEG" | version u16 | codec u8 | entry_count u32
 #            | record_count u64 | accounted_bytes u64
 #   entry:   task u32 | seq u32 | key_len u32 | value_len u32 | value_tag u8
 #            | key pickle | value payload
 #
-# ``value_tag`` selects the payload codec: RecordBlocks use the columnar
+# ``value_tag`` selects the payload encoding: RecordBlocks use the columnar
 # encode_record_block wire format, everything else a pickle.  The header's
-# record_count/accounted_bytes are the segment's exact contribution to the
-# job's shuffle accounting — readable without touching any entry.  Each entry
-# carries its own (map task, emission seq) provenance, so a run produced by
-# an *intermediate merge* of many map-task runs (the bounded-fan-in external
-# merge) stays totally ordered by the same key the original runs were.
+# ``codec`` byte names the compression applied to every *value payload* in
+# the file (keys stay uncompressed — they are tiny and the merge touches
+# them constantly); ``value_len`` is the on-disk (compressed) length.  The
+# record_count/accounted_bytes totals are the segment's exact contribution
+# to the job's shuffle accounting — readable without touching any entry, and
+# always measured on the UNCOMPRESSED representation so accounting is
+# codec-invariant.  Each entry carries its own (map task, emission seq)
+# provenance, so a run produced by an *intermediate merge* of many map-task
+# runs (the bounded-fan-in external merge) stays totally ordered by the same
+# key the original runs were.
 
 _SEGMENT_MAGIC = b"SSEG"
-_SEGMENT_VERSION = 1
-_SEGMENT_HEADER = struct.Struct("<4sHIQQ")
+_SEGMENT_VERSION = 2
+_SEGMENT_HEADER = struct.Struct("<4sHBIQQ")
 _ENTRY_HEADER = struct.Struct("<IIIIB")
 _VALUE_PICKLE = 0
 _VALUE_BLOCK = 1
+
+
+# -- value-payload compression codecs ------------------------------------------
+
+
+@dataclass(frozen=True)
+class SegmentCodec:
+    """One value-payload compression scheme for segment files.
+
+    ``none`` and ``zlib`` ride on the stdlib and are always available;
+    ``lz4`` and ``zstd`` light up when their optional packages are
+    importable.  ``wire_id`` is the codec byte written into segment headers
+    — append-only, never renumbered, so files stay self-describing.
+    """
+
+    name: str
+    wire_id: int
+    available: bool
+    hint: str | None = None  # how to obtain an unavailable codec
+
+
+#: codec name -> descriptor; iteration order is the documented listing order
+SEGMENT_CODECS: dict[str, SegmentCodec] = {
+    "none": SegmentCodec("none", 0, True),
+    "zlib": SegmentCodec("zlib", 1, True),
+    "lz4": SegmentCodec("lz4", 2, _lz4_frame is not None, "pip install lz4"),
+    "zstd": SegmentCodec(
+        "zstd", 3, _zstandard is not None, "pip install zstandard"
+    ),
+}
+
+_CODECS_BY_ID = {codec.wire_id: codec for codec in SEGMENT_CODECS.values()}
+
+
+def available_segment_codecs() -> tuple[str, ...]:
+    """Names of the codecs usable in this process, in listing order."""
+    return tuple(name for name, codec in SEGMENT_CODECS.items() if codec.available)
+
+
+def resolve_segment_codec(name: str) -> SegmentCodec:
+    """Look up a codec by name, rejecting unknown or unavailable ones."""
+    try:
+        codec = SEGMENT_CODECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown segment codec {name!r}; "
+            f"available: {', '.join(SEGMENT_CODECS)}"
+        ) from None
+    if not codec.available:
+        raise ValueError(
+            f"segment codec {name!r} needs an optional dependency "
+            f"({codec.hint}); codecs usable here: "
+            f"{', '.join(available_segment_codecs())}"
+        )
+    return codec
+
+
+def _compress_payload(codec: SegmentCodec, payload: bytes) -> bytes:
+    if codec.wire_id == 0:
+        return payload
+    if codec.wire_id == 1:
+        return zlib.compress(payload, 6)
+    if codec.wire_id == 2:
+        return _lz4_frame.compress(payload)
+    return _zstandard.ZstdCompressor().compress(payload)
+
+
+def _decompress_payload(codec: SegmentCodec, payload: bytes) -> bytes:
+    if codec.wire_id == 0:
+        return payload
+    if codec.wire_id == 1:
+        return zlib.decompress(payload)
+    if codec.wire_id == 2:
+        return _lz4_frame.decompress(payload)
+    return _zstandard.ZstdDecompressor().decompress(payload)
 
 #: maximum runs one k-way merge reads at once — more runs than this are
 #: first combined by intermediate merge passes (Hadoop's io.sort.factor);
@@ -124,6 +219,7 @@ class Segment:
     records: int  # logical records (blocks weigh their rows)
     accounted_bytes: int  # exact shuffle-bytes contribution (estimate_bytes)
     file_bytes: int  # actual bytes on disk (spill counter)
+    codec: str = "none"  # value-payload compression (SEGMENT_CODECS name)
 
 
 @dataclass(frozen=True)
@@ -162,6 +258,7 @@ def write_segment(
     path: str | Path,
     reducer: int,
     entries,
+    codec: str = "none",
 ) -> Segment:
     """Write one sorted run to ``path``, streaming, and return its descriptor.
 
@@ -170,18 +267,26 @@ def write_segment(
     Rows are encoded and written one at a time (never a whole-segment buffer:
     spilling is where memory is scarce by definition), with the header
     totals patched in afterwards so accounting never needs the file re-read.
+
+    ``codec`` compresses each value payload (see :data:`SEGMENT_CODECS`);
+    ``accounted_bytes`` rows are recorded verbatim, so shuffle accounting
+    stays identical across codecs while ``file_bytes`` shrinks.
     """
     path = Path(path)
+    segment_codec = resolve_segment_codec(codec)
     entry_count = 0
     records = 0
     accounted = 0
     with open(path, "wb") as stream:
         stream.write(
-            _SEGMENT_HEADER.pack(_SEGMENT_MAGIC, _SEGMENT_VERSION, 0, 0, 0)
+            _SEGMENT_HEADER.pack(
+                _SEGMENT_MAGIC, _SEGMENT_VERSION, segment_codec.wire_id, 0, 0, 0
+            )
         )
         for task, seq, key, value, row_records, row_accounted in entries:
             key_blob = pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
             tag, value_blob = _encode_value(value)
+            value_blob = _compress_payload(segment_codec, value_blob)
             stream.write(
                 _ENTRY_HEADER.pack(task, seq, len(key_blob), len(value_blob), tag)
             )
@@ -194,7 +299,12 @@ def write_segment(
         stream.seek(0)
         stream.write(
             _SEGMENT_HEADER.pack(
-                _SEGMENT_MAGIC, _SEGMENT_VERSION, entry_count, records, accounted
+                _SEGMENT_MAGIC,
+                _SEGMENT_VERSION,
+                segment_codec.wire_id,
+                entry_count,
+                records,
+                accounted,
             )
         )
     return Segment(
@@ -204,23 +314,49 @@ def write_segment(
         records=records,
         accounted_bytes=accounted,
         file_bytes=file_bytes,
+        codec=segment_codec.name,
     )
 
 
-def read_segment_header(path: str | Path) -> tuple[int, int, int]:
-    """``(entries, records, accounted_bytes)`` from the header."""
+def _read_raw_header(path: str | Path) -> tuple[SegmentCodec, int, int, int]:
+    """``(codec, entries, records, accounted_bytes)`` from the header."""
     with open(path, "rb") as stream:
         header = stream.read(_SEGMENT_HEADER.size)
     if len(header) < _SEGMENT_HEADER.size:
         raise _truncated(path, _SEGMENT_HEADER.size, len(header), "the header")
-    magic, version, entries, records, accounted = _SEGMENT_HEADER.unpack(header)
+    magic, version, codec_id, entries, records, accounted = (
+        _SEGMENT_HEADER.unpack(header)
+    )
     if magic != _SEGMENT_MAGIC:
         raise ValueError(f"{path} is not a shuffle segment file (bad magic)")
     if version != _SEGMENT_VERSION:
         raise ValueError(
             f"segment file {path} has version {version}, expected {_SEGMENT_VERSION}"
         )
+    codec = _CODECS_BY_ID.get(codec_id)
+    if codec is None:
+        raise ValueError(
+            f"segment file {path} uses unknown codec id {codec_id}; "
+            f"known: {', '.join(SEGMENT_CODECS)}"
+        )
+    if not codec.available:
+        raise ValueError(
+            f"segment file {path} is compressed with {codec.name!r}, which "
+            f"is not available in this process ({codec.hint})"
+        )
+    return codec, entries, records, accounted
+
+
+def read_segment_header(path: str | Path) -> tuple[int, int, int]:
+    """``(entries, records, accounted_bytes)`` from the header."""
+    _, entries, records, accounted = _read_raw_header(path)
     return entries, records, accounted
+
+
+def read_segment_codec(path: str | Path) -> str:
+    """The codec name a segment file's value payloads are compressed with."""
+    codec, _, _, _ = _read_raw_header(path)
+    return codec.name
 
 
 def iter_segment(path: str | Path) -> Iterator[tuple[int, int, Any, Any]]:
@@ -229,9 +365,10 @@ def iter_segment(path: str | Path) -> Iterator[tuple[int, int, Any, Any]]:
     Validates as it goes: a truncated file raises a ``ValueError`` naming the
     path and the expected-vs-actual byte counts; trailing bytes after the
     declared entries (e.g. two segments concatenated) raise too.  Value
-    payload decode errors are re-raised with the segment path attached.
+    payload decompression and decode errors are re-raised as ``ValueError``
+    with the segment path and entry index attached.
     """
-    declared, _, _ = read_segment_header(path)
+    codec, declared, _, _ = _read_raw_header(path)
     with open(path, "rb") as stream:
         stream.seek(_SEGMENT_HEADER.size)
         for index in range(declared):
@@ -250,6 +387,14 @@ def iter_segment(path: str | Path) -> Iterator[tuple[int, int, Any, Any]]:
                 )
             key = pickle.loads(body[:key_len])
             payload = body[key_len:]
+            try:
+                payload = _decompress_payload(codec, payload)
+            except Exception as error:
+                raise ValueError(
+                    f"segment file {path}, entry {index}/{declared}: "
+                    f"{codec.name} decompression failed ({error}) — "
+                    "corrupt or truncated payload"
+                ) from error
             if tag == _VALUE_BLOCK:
                 try:
                     value = decode_record_block(payload)
@@ -295,6 +440,7 @@ class SpillSpec:
     budget: int | None  # buffered estimate_bytes before a flush; None = one run
     task_index: int
     task_id: str
+    codec: str = "none"  # value-payload compression for the spilled runs
 
 
 class SpillMapWriter:
@@ -358,6 +504,7 @@ class SpillMapWriter:
                     path,
                     reducer,
                     ((task, *row) for row in buffer),
+                    codec=self._spec.codec,
                 )
             )
             self._buffers[reducer] = []
@@ -415,6 +562,7 @@ def _merge_runs(
                     (task, seq, key, value, record_count(value), 0)
                     for _, task, seq, key, value in merged
                 ),
+                codec=batch[0].codec,  # intermediate runs keep the input codec
             )
         )
         passes += 1
@@ -577,10 +725,14 @@ class InMemoryShuffleStore(ShuffleStore):
     name = "memory"
 
     def __init__(
-        self, memory_budget: int | None = None, spill_dir: str | None = None
+        self,
+        memory_budget: int | None = None,
+        spill_dir: str | None = None,
+        codec: str = "none",
     ) -> None:
         # knobs accepted for interface uniformity; nothing ever spills
         del memory_budget, spill_dir
+        resolve_segment_codec(codec)  # still reject bad names early
 
     def plan_reduce(self, job, map_results, stats) -> list[ReduceInput]:
         buckets: list[dict[Any, list[Any]]] = [{} for _ in range(job.num_reducers)]
@@ -624,7 +776,10 @@ class SpillShuffleStore(ShuffleStore):
     *shuffle* (nothing is bucketed in the scheduler, and process workers ship
     manifests instead of data).  ``spill_dir`` hosts the store's private
     directory (a fresh ``mkdtemp`` under it, or under the system temp dir);
-    :meth:`close` removes everything the store wrote.
+    :meth:`close` removes everything the store wrote.  ``codec`` compresses
+    the spilled value payloads (:data:`SEGMENT_CODECS`) — shuffle accounting
+    is measured before compression, so the records/bytes counters are
+    identical across codecs while the on-disk ``spill_bytes`` shrink.
     """
 
     name = "spill"
@@ -634,6 +789,7 @@ class SpillShuffleStore(ShuffleStore):
         memory_budget: int | None = None,
         spill_dir: str | None = None,
         merge_fan_in: int = DEFAULT_MERGE_FAN_IN,
+        codec: str = "none",
     ) -> None:
         if memory_budget is not None and memory_budget < 0:
             raise ValueError("memory_budget must be >= 0 (or None)")
@@ -641,6 +797,7 @@ class SpillShuffleStore(ShuffleStore):
             raise ValueError("merge_fan_in must be >= 2")
         self.memory_budget = memory_budget
         self.merge_fan_in = merge_fan_in
+        self.codec = resolve_segment_codec(codec).name
         self._scratch = OwnedScratchDir(prefix="repro-shuffle-", parent=spill_dir)
         self._job_counter = 0
         #: guards the job counter and lazy scratch creation — one store may
@@ -672,6 +829,7 @@ class SpillShuffleStore(ShuffleStore):
             budget=self.memory_budget,
             task_index=task_index,
             task_id=task_id,
+            codec=self.codec,
         )
 
     def plan_reduce(self, job, map_results, stats) -> list[ReduceInput]:
@@ -742,6 +900,7 @@ def get_shuffle_store(
     backend: str = DEFAULT_SHUFFLE,
     memory_budget: int | None = None,
     spill_dir: str | None = None,
+    codec: str = "none",
 ) -> ShuffleStore:
     """Resolve a backend name into a ready store instance.
 
@@ -755,4 +914,4 @@ def get_shuffle_store(
             f"unknown shuffle backend {backend!r}; "
             f"available: {', '.join(available_shuffle_backends())}"
         ) from None
-    return store_class(memory_budget=memory_budget, spill_dir=spill_dir)
+    return store_class(memory_budget=memory_budget, spill_dir=spill_dir, codec=codec)

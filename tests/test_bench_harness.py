@@ -7,6 +7,9 @@ import pytest
 from repro.bench.harness import (
     DEFAULTS,
     ExperimentResult,
+    _engine_params,
+    bench_kernel_provider,
+    bench_spill_codec,
     forest_workload,
     osm_workload,
     pivot_sweep,
@@ -75,8 +78,38 @@ class TestRunners:
             run_pgbj(small_uniform, small_uniform, num_reducer=32)
 
 
+class TestEnvKnobs:
+    def test_kernel_provider_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_PROVIDER", raising=False)
+        assert bench_kernel_provider() == "auto"
+        monkeypatch.setenv("REPRO_KERNEL_PROVIDER", "numba")
+        assert bench_kernel_provider() == "numba"
+        monkeypatch.setenv("REPRO_KERNEL_PROVIDER", "cuda")
+        with pytest.raises(ValueError, match="REPRO_KERNEL_PROVIDER"):
+            bench_kernel_provider()
+
+    def test_spill_codec_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPILL_CODEC", raising=False)
+        assert bench_spill_codec() == "none"
+        monkeypatch.setenv("REPRO_SPILL_CODEC", "zlib")
+        assert bench_spill_codec() == "zlib"
+        monkeypatch.setenv("REPRO_SPILL_CODEC", "gzip9")
+        with pytest.raises(ValueError, match="REPRO_SPILL_CODEC"):
+            bench_spill_codec()
+
+    def test_engine_params_carry_provider_and_codec(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPILL_CODEC", raising=False)
+        monkeypatch.setenv("REPRO_KERNEL_PROVIDER", "numpy")
+        params = _engine_params()
+        assert params["kernel_provider"] == "numpy"
+        assert "spill_codec" not in params  # "none" stays implicit
+        monkeypatch.setenv("REPRO_SPILL_CODEC", "zlib")
+        assert _engine_params()["spill_codec"] == "zlib"
+
+
 class TestExperimentResult:
-    def test_save_round_trip(self, tmp_path):
+    def test_save_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_PROVIDER", raising=False)
         record = ExperimentResult(
             exhibit="demo",
             title="Demo",
@@ -88,6 +121,12 @@ class TestExperimentResult:
         payload = json.loads(path.read_text())
         assert payload["exhibit"] == "demo"
         assert payload["data"]["series"] == [1, 2]
+        assert payload["kernel_provider"] == "auto"
+
+    def test_kernel_provider_stamped_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_PROVIDER", "numpy")
+        record = ExperimentResult(exhibit="demo", title="t", text="b")
+        assert record.kernel_provider == "numpy"
 
     def test_show_contains_title_and_text(self):
         record = ExperimentResult(exhibit="demo", title="A Title", text="BODY")

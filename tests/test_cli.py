@@ -50,6 +50,38 @@ class TestJoin:
         line = next(l for l in out.splitlines() if "join output pairs" in l)
         assert int(line.split(":")[1]) == 2 * 200
 
+    def test_join_kernel_provider_and_spill_codec_flags(self, capsys):
+        code = main(
+            ["join", "--objects", "200", "--k", "2", "--num-reducers", "2",
+             "--num-pivots", "6", "--kernel-provider", "numpy",
+             "--spill-codec", "zlib"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kernel provider      : numpy" in out
+        assert "spill codec          : zlib" in out
+        assert "spill activity" in out  # the codec implied the spill backend
+
+    def test_join_provider_default_from_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_PROVIDER", "numpy")
+        main(["join", "--objects", "200", "--k", "2", "--num-reducers", "2",
+              "--num-pivots", "6"])
+        assert "kernel provider      : numpy" in capsys.readouterr().out
+
+    def test_spill_codec_hidden_when_off(self, capsys):
+        main(["join", "--objects", "200", "--k", "2", "--num-reducers", "2",
+              "--num-pivots", "6"])
+        assert "spill codec" not in capsys.readouterr().out
+
+
+class TestListKernelProviders:
+    def test_lists_every_provider_with_availability(self, capsys):
+        assert main(["--list-kernel-providers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("numpy", "numba", "auto"):
+            assert name in out
+        assert "[available]" in out  # numpy at minimum
+
 
 class TestBench:
     def test_bench_table2_writes_json(self, capsys, tmp_path, monkeypatch):
