@@ -30,6 +30,7 @@ __all__ = [
     "bench_memory_budget",
     "bench_kernel_provider",
     "bench_spill_codec",
+    "bench_chaos",
     "scaled_pivots",
     "pivot_sweep",
     "forest_workload",
@@ -155,6 +156,21 @@ def bench_spill_codec() -> str:
     return codec
 
 
+def bench_chaos():
+    """Chaos plan for bench runs (``REPRO_CHAOS``, default off).
+
+    Setting a spec (e.g. ``crash:rate=0.2:attempt=1;corrupt:rate=0.1``)
+    injects deterministic faults into every job of every bench join.  The
+    fault-tolerance contract is that results, counters and shuffle
+    accounting are *bit-identical* to a fault-free run — the CI ``chaos``
+    leg runs the equivalence suites under a fixed-seed fault mix to prove
+    it.  Returns a :class:`~repro.mapreduce.faults.ChaosPlan` or ``None``.
+    """
+    from repro.mapreduce.faults import ChaosPlan
+
+    return ChaosPlan.from_env()
+
+
 def scaled(value: int, minimum: int = 8) -> int:
     """Apply the global scale to an object count."""
     return max(minimum, int(value * bench_scale()))
@@ -204,6 +220,9 @@ def _engine_params() -> dict[str, Any]:
     codec = bench_spill_codec()
     if codec != "none":
         params["spill_codec"] = codec
+    chaos = bench_chaos()
+    if chaos is not None:
+        params["chaos"] = chaos
     return params
 
 

@@ -34,7 +34,13 @@ from repro.bench.harness import DEFAULTS, bench_scale, default_cluster
 from repro.datasets import expand_dataset, generate_forest, generate_osm
 from repro.joins import available_joins, get_join, run_join
 from repro.joins.kernel_providers import available_kernel_providers
-from repro.mapreduce import DEFAULT_ENGINE, SEGMENT_CODECS, available_engines
+from repro.mapreduce import (
+    CHAOS_ENV,
+    DEFAULT_ENGINE,
+    SEGMENT_CODECS,
+    ChaosPlan,
+    available_engines,
+)
 
 __all__ = ["main"]
 
@@ -174,6 +180,43 @@ def _build_parser() -> argparse.ArgumentParser:
             "stages; results are bit-identical either way"
         ),
     )
+    join.add_argument(
+        "--chaos-spec",
+        default=os.environ.get(CHAOS_ENV),
+        metavar="SPEC",
+        help=(
+            "inject deterministic faults, e.g. "
+            "'crash:rate=0.2:attempt=1;corrupt:rate=0.1'.  Actions: crash, "
+            "delay, kill (process engines), corrupt, delete.  Results stay "
+            "bit-identical to a fault-free run.  Default from REPRO_CHAOS"
+        ),
+    )
+    join.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="seed for the chaos plan's per-task coin flips (default 0 or "
+        "the spec's own seed=N clause)",
+    )
+    join.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "absolute per-task deadline; a task running longer gets a "
+            "speculative duplicate (parallel engines) and the first copy "
+            "to finish wins"
+        ),
+    )
+    join.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "persist each finished plan stage here; re-running the same "
+            "join after a crash resumes from the last completed stage"
+        ),
+    )
 
     bench = sub.add_parser("bench", help="reproduce one exhibit (or `all`)")
     bench.add_argument("exhibit", choices=list(EXHIBITS) + ["all"])
@@ -225,6 +268,11 @@ def _cmd_join(args: argparse.Namespace) -> int:
     else:
         data = generate_osm(args.objects, seed=args.seed)
     spec = get_join(args.algorithm)
+    chaos = (
+        ChaosPlan.from_spec(args.chaos_spec, seed=args.chaos_seed)
+        if args.chaos_spec
+        else None
+    )
     # the spec filters this union of knobs down to what its config accepts
     config = spec.make_config(
         k=args.k,
@@ -240,6 +288,9 @@ def _cmd_join(args: argparse.Namespace) -> int:
         num_pivots=args.num_pivots,
         pivot_selection=args.pivot_selection,
         grouping=args.grouping,
+        chaos=chaos,
+        task_timeout=args.task_timeout,
+        checkpoint_dir=args.checkpoint_dir,
     )
     outcome = run_join(spec.name, data, data, config)
     cluster = default_cluster(args.num_reducers)
@@ -262,6 +313,17 @@ def _cmd_join(args: argparse.Namespace) -> int:
         print(f"spill activity       : {outcome.spill_segments()} segments, "
               f"{outcome.spill_bytes() / 1e6:.3f} MB on disk, "
               f"{outcome.merge_passes()} merge passes")
+    robustness = (
+        outcome.recovered_tasks()
+        + outcome.speculative_wins()
+        + outcome.checksum_failures()
+        + outcome.spill_files_deleted()
+    )
+    if chaos is not None or robustness:
+        print(f"fault tolerance      : {outcome.recovered_tasks()} tasks recovered, "
+              f"{outcome.speculative_wins()} speculative wins, "
+              f"{outcome.checksum_failures()} checksum failures, "
+              f"{outcome.spill_files_deleted()} stale spill files removed")
     return 0
 
 

@@ -21,6 +21,7 @@ from repro.core.result import KnnJoinResult
 from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engines import DEFAULT_ENGINE, Executor, available_engines
+from repro.mapreduce.faults import ChaosPlan
 from repro.mapreduce.hdfs import DistributedFileSystem
 from repro.mapreduce.plan import PlanCache
 from repro.mapreduce.runtime import LocalRuntime
@@ -101,6 +102,18 @@ class JoinConfig:
     Any codec other than ``none`` implies the out-of-core shuffle backend.
     Accounted shuffle bytes stay the *uncompressed* sizes, so accounting is
     bit-identical to the in-memory oracle — only the file bytes shrink.
+
+    ``chaos`` (optional, injected by reference like ``shared_executor``)
+    hands every runtime this config makes a seeded
+    :class:`~repro.mapreduce.faults.ChaosPlan` — the structured fault
+    injector behind the ``--chaos-spec``/``--chaos-seed`` CLI flags and the
+    ``REPRO_CHAOS`` environment variable.  Results, counters and shuffle
+    accounting under chaos are bit-identical to a fault-free run (the
+    fault-tolerance contract; CI asserts it across engines).
+    ``task_timeout`` sets the runtime's absolute soft deadline in seconds
+    before a straggling attempt gets a speculative duplicate, and
+    ``checkpoint_dir`` turns on stage-level checkpoint/resume in the plan
+    scheduler (killed runs resume from their last finished stage).
     """
 
     k: int = 10
@@ -115,6 +128,9 @@ class JoinConfig:
     kernel_provider: str = "auto"
     spill_codec: str = "none"
     plan_concurrency: bool = True
+    task_timeout: float | None = None
+    checkpoint_dir: str | None = None
+    chaos: ChaosPlan | None = field(default=None, compare=False, repr=False)
     shared_executor: Executor | None = field(default=None, compare=False, repr=False)
     plan_cache: PlanCache | None = field(default=None, compare=False, repr=False)
 
@@ -134,6 +150,8 @@ class JoinConfig:
             raise ValueError("max_workers must be >= 1")
         if self.memory_budget is not None and self.memory_budget < 0:
             raise ValueError("memory_budget must be >= 0 (or None for in-memory)")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be > 0 seconds (or None)")
         from repro.joins.kernel_providers import KERNEL_PROVIDERS
 
         if self.kernel_provider not in KERNEL_PROVIDERS:
@@ -184,6 +202,10 @@ class JoinConfig:
         """
         if self.shared_executor is not None:
             runtime_kwargs.setdefault("executor", self.shared_executor)
+        if self.chaos is not None:
+            runtime_kwargs.setdefault("fault_injector", self.chaos)
+        if self.task_timeout is not None:
+            runtime_kwargs.setdefault("task_timeout", self.task_timeout)
         if self.out_of_core:
             runtime_kwargs.setdefault("shuffle", "spill")
             runtime_kwargs.setdefault("memory_budget", self.memory_budget)
@@ -373,6 +395,24 @@ class JoinOutcome:
     def merge_passes(self) -> int:
         """K-way external merges the reduce phases performed across all jobs."""
         return sum(stats.merge_passes for stats in self.job_stats)
+
+    # -- robustness bookkeeping (zero on a fault-free run) ----------------------
+
+    def recovered_tasks(self) -> int:
+        """Map tasks re-run because a reducer hit a lost/corrupt segment."""
+        return sum(stats.recovered_tasks for stats in self.job_stats)
+
+    def speculative_wins(self) -> int:
+        """Tasks whose speculative duplicate beat the straggling original."""
+        return sum(stats.speculative_wins for stats in self.job_stats)
+
+    def checksum_failures(self) -> int:
+        """Segment CRC32 mismatches detected across all jobs."""
+        return sum(stats.checksum_failures for stats in self.job_stats)
+
+    def spill_files_deleted(self) -> int:
+        """Spill files of failed or superseded attempts removed eagerly."""
+        return sum(stats.spill_files_deleted for stats in self.job_stats)
 
     def avg_replication_of_s(self) -> float:
         """``alpha``: average replicas per S object (paper Figure 7b)."""

@@ -196,7 +196,10 @@ def execute_join_plan(plan: JoinPlan, config: JoinConfig) -> Any:
         for resource in plan.graph.resources:
             stack.enter_context(resource)
         run = PlanScheduler(
-            runtime, cache=config.plan_cache, concurrent=config.plan_concurrency
+            runtime,
+            cache=config.plan_cache,
+            concurrent=config.plan_concurrency,
+            checkpoint_dir=config.checkpoint_dir,
         ).execute(plan.graph)
     return plan.assemble(run)
 
@@ -235,6 +238,9 @@ def run_join_plans(plans: list[JoinPlan], config: JoinConfig) -> list[Any]:
         for resource in fused.resources:
             stack.enter_context(resource)
         run = PlanScheduler(
-            runtime, cache=config.plan_cache, concurrent=config.plan_concurrency
+            runtime,
+            cache=config.plan_cache,
+            concurrent=config.plan_concurrency,
+            checkpoint_dir=config.checkpoint_dir,
         ).execute(fused)
     return [plan.assemble(run) for plan in plans]

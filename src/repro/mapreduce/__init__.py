@@ -16,9 +16,19 @@ from .engines import (
     PersistentThreadExecutor,
     ProcessExecutor,
     SerialExecutor,
+    TaskBatch,
     ThreadExecutor,
     available_engines,
     get_executor,
+)
+from .faults import (
+    CHAOS_ENV,
+    CHAOS_SEED_ENV,
+    ChaosAction,
+    ChaosPlan,
+    ChaosRule,
+    LegacyFaultInjector,
+    resolve_chaos,
 )
 from .hdfs import DfsFile, DistributedFileSystem, SegmentChunk
 from .job import BlockBufferingMapper, Context, Mapper, MapReduceJob, Reducer
@@ -30,6 +40,7 @@ from .plan import (
     PlanRun,
     PlanScheduler,
     Stage,
+    StageCheckpointStore,
     StageContext,
     StageExecution,
 )
@@ -49,6 +60,8 @@ from .shuffle import (
     MapManifest,
     Segment,
     SegmentCodec,
+    SegmentIntegrityError,
+    SegmentLost,
     ShuffleStore,
     SpillShuffleStore,
     available_segment_codecs,
@@ -87,6 +100,13 @@ __all__ = [
     "JobResult",
     "TaskFailure",
     "FaultInjector",
+    "ChaosPlan",
+    "ChaosRule",
+    "ChaosAction",
+    "LegacyFaultInjector",
+    "resolve_chaos",
+    "CHAOS_ENV",
+    "CHAOS_SEED_ENV",
     "JobGraph",
     "Stage",
     "StageContext",
@@ -95,7 +115,9 @@ __all__ = [
     "PlanScheduler",
     "PlanCache",
     "PlanError",
+    "StageCheckpointStore",
     "Executor",
+    "TaskBatch",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
@@ -115,6 +137,8 @@ __all__ = [
     "Segment",
     "MapManifest",
     "SegmentChunk",
+    "SegmentIntegrityError",
+    "SegmentLost",
     "get_shuffle_store",
     "available_shuffle_backends",
     "SegmentCodec",

@@ -58,6 +58,7 @@ from typing import Any
 
 __all__ = [
     "Executor",
+    "TaskBatch",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
@@ -70,6 +71,31 @@ __all__ = [
 
 #: the engine every config and runtime falls back to
 DEFAULT_ENGINE = "serial"
+
+
+class TaskBatch:
+    """Futures for one dispatched batch, plus a late-submission hook.
+
+    Returned by :meth:`Executor.submit_batch`: ``futures`` align with the
+    submitted payloads, :meth:`submit` adds one more payload to the same
+    batch (how the scheduler launches a speculative duplicate attempt while
+    the batch is in flight), and :meth:`close` releases whatever the batch
+    holds — without waiting for stragglers, so an abandoned loser attempt
+    never blocks the scheduler.
+    """
+
+    def __init__(self, futures, submit, close=None) -> None:
+        self.futures = list(futures)
+        self._submit = submit
+        self._close = close
+
+    def submit(self, payload):
+        """Submit one more payload; returns its future."""
+        return self._submit(payload)
+
+    def close(self) -> None:
+        if self._close is not None:
+            self._close()
 
 
 class Executor(ABC):
@@ -90,6 +116,12 @@ class Executor(ABC):
     #: set by :meth:`close`; batches are rejected afterwards
     closed: bool = False
 
+    #: True when task attempts run in separate worker *processes* — the
+    #: engines where a chaos "kill" can really terminate a worker (and where
+    #: the scheduler must expect broken pools); elsewhere kill degrades to a
+    #: plain crash
+    process_based: bool = False
+
     @abstractmethod
     def run_tasks(
         self,
@@ -101,6 +133,34 @@ class Executor(ABC):
 
         ``shared`` is batch-constant state (the job spec): backends may ship
         it to workers once instead of once per payload.
+        """
+
+    def submit_batch(
+        self,
+        fn: Callable[[Any, Any], Any],
+        shared: Any,
+        payloads: Sequence[Any],
+    ) -> "TaskBatch | None":
+        """Future-based dispatch of one batch, or ``None`` if unsupported.
+
+        The scheduler prefers this form when it wants per-task completion
+        events — soft deadlines and speculative duplicate attempts need to
+        observe tasks finishing one by one, which ``run_tasks``'s barrier
+        hides.  Backends without real concurrency (serial, single-worker
+        pools) return ``None`` and the scheduler falls back to
+        :meth:`run_tasks`; semantics are otherwise identical (``fn`` applied
+        to each payload with the shared state shipped once).
+        """
+        return None
+
+    def handle_broken(self) -> None:
+        """Recover backend state after a worker loss surfaced via a future.
+
+        Called by the scheduler when a future from :meth:`submit_batch`
+        raises ``BrokenExecutor``: pooled backends drop (and blacklist a
+        slot of) their broken pool so the next batch starts fresh.  The
+        default is a no-op — per-batch backends hold nothing between
+        batches.
         """
 
     def close(self) -> None:
@@ -159,6 +219,20 @@ class ThreadExecutor(Executor):
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(partial(fn, shared), payloads))
 
+    def submit_batch(self, fn, shared, payloads):
+        self._check_open()
+        if len(payloads) <= 1 or self.max_workers == 1:
+            return None
+        pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        futures = [pool.submit(fn, shared, payload) for payload in payloads]
+        return TaskBatch(
+            futures,
+            submit=lambda payload: pool.submit(fn, shared, payload),
+            # wait=False: a straggling loser attempt must not block the
+            # scheduler; the thread finishes on its own and is reaped then
+            close=lambda: pool.shutdown(wait=False),
+        )
+
 
 # -- process backend -----------------------------------------------------------
 
@@ -185,6 +259,7 @@ class ProcessExecutor(Executor):
     """
 
     name = "processes"
+    process_based = True
 
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = _resolve_workers(max_workers)
@@ -202,6 +277,23 @@ class ProcessExecutor(Executor):
             return list(
                 pool.map(partial(_worker_call, fn), payloads, chunksize=chunksize)
             )
+
+    def submit_batch(self, fn, shared, payloads):
+        self._check_open()
+        if len(payloads) <= 1 or self.max_workers == 1:
+            return None
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.max_workers, len(payloads)),
+            initializer=_worker_init,
+            initargs=(shared,),
+        )
+        call = partial(_worker_call, fn)
+        futures = [pool.submit(call, payload) for payload in payloads]
+        return TaskBatch(
+            futures,
+            submit=lambda payload: pool.submit(call, payload),
+            close=lambda: pool.shutdown(wait=False),
+        )
 
 
 # -- persistent (pooled) backends ----------------------------------------------
@@ -227,11 +319,24 @@ class PersistentThreadExecutor(Executor):
         self._check_open()
         if len(payloads) <= 1 or self.max_workers == 1:
             return [fn(shared, payload) for payload in payloads]
+        return list(self._ensure_pool().map(partial(fn, shared), payloads))
+
+    def submit_batch(self, fn, shared, payloads):
+        self._check_open()
+        if len(payloads) <= 1 or self.max_workers == 1:
+            return None
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, shared, payload) for payload in payloads]
+        # no close: the pool persists across batches by design
+        return TaskBatch(
+            futures, submit=lambda payload: pool.submit(fn, shared, payload)
+        )
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._lock:
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
-            pool = self._pool
-        return list(pool.map(partial(fn, shared), payloads))
+            return self._pool
 
     def close(self) -> None:
         with self._lock:
@@ -266,20 +371,21 @@ def _pooled_worker_init(barrier: Any) -> None:
     _INSTALL_BARRIER = barrier
 
 
-def _install_shared(generation: int, blob: bytes) -> None:
+def _install_shared(generation: int, blob: bytes, evict: tuple = ()) -> None:
     """Priming task: one per worker per job, gated by the pool barrier.
 
     Every worker that picks up a priming task blocks on the barrier until
     *all* workers hold one — which is what guarantees each worker executes
     exactly one install (a worker cannot finish its install and steal a
     second while others are still empty-handed).  Installs land in a small
-    generation-keyed slot cache; the oldest generation is evicted beyond
-    ``_MAX_RESIDENT_JOBS``, mirroring the parent's bookkeeping.
+    generation-keyed slot cache; evictions are parent-directed (the
+    ``evict`` list), never local — the parent alone knows which generations
+    still have tasks in flight, so only it can evict safely.
     """
     _INSTALL_BARRIER.wait(timeout=_INSTALL_TIMEOUT_S)
+    for stale in evict:
+        _POOL_SLOTS.pop(stale, None)
     _POOL_SLOTS[generation] = pickle.loads(blob)
-    while len(_POOL_SLOTS) > _MAX_RESIDENT_JOBS:
-        del _POOL_SLOTS[min(_POOL_SLOTS)]
 
 
 def _pooled_call(fn: Callable[[Any, Any], Any], generation: int, payload: Any) -> Any:
@@ -317,24 +423,50 @@ class PersistentProcessExecutor(Executor):
     the whole pool broken; the executor then drops its cached pool so the
     *next* batch builds a fresh one and re-primes — the same recovery the
     per-batch engine gets implicitly.  The failing batch itself still
-    raises, exactly as it does under ``processes``.
+    raises, exactly as it does under ``processes``.  *Repeated* breaks
+    additionally blacklist worker slots: after the first break every further
+    break shrinks the next pool by one slot (never below one) — the local
+    stand-in for taking a flaky host out of rotation.
     """
 
     name = "processes-pooled"
+    process_based = True
 
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = _resolve_workers(max_workers)
         self._pool: ProcessPoolExecutor | None = None
         self._barrier: Any = None
         self._generation = 0  # last assigned generation
+        self._pool_breaks = 0  # lifetime broken-pool count (drives blacklisting)
+        self._pool_slots = self.max_workers  # workers in the current pool
         #: resident jobs: id(shared) -> (generation, blob, shared); the
         #: shared ref both pins the id and detects identity reuse
         self._jobs: dict[int, tuple[int, bytes, Any]] = {}
         self._installed: set[int] = set()  # generations primed into the pool
+        #: generation -> count of its submit_batch futures still in flight;
+        #: a generation with live futures is pinned against eviction.  Its
+        #: own lock, not ``_lock``: decrements run on the pool's callback
+        #: thread, which ``shutdown(wait=True)`` under ``_lock`` waits for —
+        #: sharing the main lock would deadlock a pool reset
+        self._inflight: dict[int, int] = {}
+        self._inflight_lock = threading.Lock()
+        #: evictions decided by the parent but not yet delivered to workers
+        #: (they ride along with the next priming round)
+        self._worker_evictions: list[int] = []
         #: batches are atomic: generation bookkeeping, priming and the pool
         #: itself are one shared state, so concurrent runtimes sharing this
         #: executor (JoinConfig.shared_executor) take turns batch by batch
         self._lock = threading.Lock()
+
+    @property
+    def blacklisted_slots(self) -> int:
+        """Worker slots withheld from new pools after repeated breaks."""
+        return min(self.max_workers - 1, max(0, self._pool_breaks - 1))
+
+    @property
+    def worker_slots(self) -> int:
+        """Workers the next (or current) pool runs with."""
+        return self.max_workers - self.blacklisted_slots
 
     def run_tasks(self, fn, shared, payloads):
         self._check_open()
@@ -345,7 +477,7 @@ class PersistentProcessExecutor(Executor):
             try:
                 pool = self._ensure_pool()
                 self._ensure_primed(pool, generation)
-                chunksize = max(1, len(payloads) // (self.max_workers * 4))
+                chunksize = max(1, len(payloads) // (self.worker_slots * 4))
                 return list(
                     pool.map(
                         partial(_pooled_call, fn, generation),
@@ -357,8 +489,58 @@ class PersistentProcessExecutor(Executor):
                 # a dead worker poisons the pool, a timed-out priming round
                 # poisons the barrier — and neither self-heals: drop both so
                 # the next batch (or join sharing this executor) starts fresh
-                self._reset_pool()
+                self._note_break()
                 raise
+
+    def submit_batch(self, fn, shared, payloads):
+        self._check_open()
+        if len(payloads) <= 1 or self.max_workers == 1:
+            return None
+
+        def submit_one(payload):
+            # per-submission locking (instead of holding the lock across the
+            # whole batch as run_tasks does): the scheduler submits
+            # speculative duplicates while the batch is in flight, and a
+            # concurrent stage may have re-shipped jobs in between —
+            # re-ensuring pool + priming under the lock keeps both safe,
+            # and the in-flight pin keeps this generation resident in the
+            # workers until the future resolves
+            with self._lock:
+                generation = self._assign_generation(shared)
+                pool = self._ensure_pool()
+                self._ensure_primed(pool, generation)
+                future = pool.submit(_pooled_call, fn, generation, payload)
+                with self._inflight_lock:
+                    self._inflight[generation] = self._inflight.get(generation, 0) + 1
+            future.add_done_callback(partial(self._release_generation, generation))
+            return future
+
+        try:
+            futures = [submit_one(payload) for payload in payloads]
+        except (BrokenExecutor, threading.BrokenBarrierError):
+            with self._lock:
+                self._note_break()
+            raise
+        # no close: the pool persists across batches by design
+        return TaskBatch(futures, submit=submit_one)
+
+    def handle_broken(self) -> None:
+        with self._lock:
+            self._note_break()
+
+    def _note_break(self) -> None:
+        self._pool_breaks += 1
+        self._reset_pool()
+
+    def _release_generation(self, generation: int, _future: Any) -> None:
+        """Future done-callback: unpin the generation once nothing of its
+        batch is in flight (runs on the pool's callback thread)."""
+        with self._inflight_lock:
+            count = self._inflight.get(generation, 0) - 1
+            if count > 0:
+                self._inflight[generation] = count
+            else:
+                self._inflight.pop(generation, None)
 
     def _assign_generation(self, shared: Any) -> int:
         """The generation for this job, pickling it only on first sight."""
@@ -368,19 +550,31 @@ class PersistentProcessExecutor(Executor):
         self._generation += 1
         blob = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
         self._jobs[id(shared)] = (self._generation, blob, shared)
-        while len(self._jobs) > _MAX_RESIDENT_JOBS:
-            evict = min(self._jobs, key=lambda key: self._jobs[key][0])
-            self._installed.discard(self._jobs.pop(evict)[0])
+        # evict oldest first, but never a generation with futures in flight —
+        # the cache may transiently exceed its bound rather than yank shared
+        # state out from under a running task
+        evictable = sorted(
+            (generation, key)
+            for key, (generation, _, _) in self._jobs.items()
+            if generation != self._generation and not self._inflight.get(generation)
+        )
+        while len(self._jobs) > _MAX_RESIDENT_JOBS and evictable:
+            generation, key = evictable.pop(0)
+            del self._jobs[key]
+            self._installed.discard(generation)
+            self._worker_evictions.append(generation)
         return self._generation
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._barrier = multiprocessing.get_context().Barrier(self.max_workers)
+            slots = self.worker_slots  # blacklisting shrinks rebuilt pools
+            self._barrier = multiprocessing.get_context().Barrier(slots)
             self._pool = ProcessPoolExecutor(
-                max_workers=self.max_workers,
+                max_workers=slots,
                 initializer=_pooled_worker_init,
                 initargs=(self._barrier,),
             )
+            self._pool_slots = slots
             self._installed = set()
         return self._pool
 
@@ -391,18 +585,25 @@ class PersistentProcessExecutor(Executor):
         blob = next(
             row[1] for row in self._jobs.values() if row[0] == generation
         )
+        evict = tuple(self._worker_evictions)
         futures = [
-            pool.submit(_install_shared, generation, blob)
-            for _ in range(self.max_workers)
+            pool.submit(_install_shared, generation, blob, evict)
+            for _ in range(self._pool_slots)
         ]
         for future in futures:
             future.result()
+        self._worker_evictions.clear()
         self._installed.add(generation)
 
     def _reset_pool(self) -> None:
         pool, self._pool = self._pool, None
         self._barrier = None
         self._installed = set()
+        # a fresh pool has empty worker slots: pending evictions are moot,
+        # and in-flight futures of the dead pool are resolving as broken
+        self._worker_evictions.clear()
+        with self._inflight_lock:
+            self._inflight.clear()
         if pool is not None:
             pool.shutdown(wait=True)
 

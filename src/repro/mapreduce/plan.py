@@ -38,16 +38,21 @@ identical to what the imperative drivers produced.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import re
 import threading
 import time
 from collections.abc import Callable, Hashable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from .job import MapReduceJob
 from .runtime import JobResult, LocalRuntime
+from .shuffle import iter_segment, write_segment
 from .types import InputSplit
 
 __all__ = [
@@ -59,6 +64,7 @@ __all__ = [
     "PlanScheduler",
     "PlanCache",
     "PlanError",
+    "StageCheckpointStore",
 ]
 
 #: a stage builder: master-side work + the stage's job and splits (or
@@ -189,6 +195,7 @@ class StageExecution:
     result: JobResult | None = None
     phases: dict[str, float] = field(default_factory=dict)
     from_cache: bool = False
+    from_checkpoint: bool = False
     started_s: float = 0.0
     finished_s: float = 0.0
 
@@ -293,6 +300,10 @@ class PlanRun:
         """Names of stages served from the plan cache, declaration order."""
         return [e.stage.name for e in self.executions if e.from_cache]
 
+    def checkpointed_stage_names(self) -> list[str]:
+        """Names of stages restored from checkpoints, declaration order."""
+        return [e.stage.name for e in self.executions if e.from_checkpoint]
+
 
 class PlanCache:
     """Content-keyed memo of stage job executions, shared across plans.
@@ -362,6 +373,118 @@ class PlanCache:
         return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
 
 
+class StageCheckpointStore:
+    """Persists completed stage results so a killed plan run can resume.
+
+    One file per stage, written in the shuffle's segment wire format (so
+    checkpoints get the same per-entry CRC32 integrity protection spilled
+    shuffle data has): a meta entry — stage name, content-key repr, job
+    name, counters, stats, side outputs — followed by the job's output
+    pairs, tagged with their reducer so ``outputs_by_reducer`` restores
+    exactly.  Files are written to a temp name and atomically renamed, so a
+    kill mid-save never leaves a truncated checkpoint; a checkpoint that is
+    corrupt, unreadable, or belongs to a different stage/key is silently
+    ignored and the stage re-runs.  The restored :class:`JobResult` is
+    bit-identical to the original — results, counters, stats, accounting —
+    so resumed plan runs fingerprint-match uninterrupted ones.
+
+    Checkpoints are keyed by stage name + content key only: a directory
+    must belong to one plan identity (the ``--checkpoint-dir`` contract).
+    """
+
+    #: key of the meta entry, first in every checkpoint file
+    META_KEY = "__checkpoint__"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, stage: Stage) -> Path:
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", stage.name)
+        digest = hashlib.sha1(
+            f"{stage.name}|{repr(stage.key)}".encode()
+        ).hexdigest()[:12]
+        return self.directory / f"{safe}-{digest}.ckpt.seg"
+
+    def load(self, stage: Stage) -> JobResult | None:
+        """The stage's checkpointed result, or ``None`` when there is none
+        (missing, corrupt, or written for a different stage identity)."""
+        path = self.path_for(stage)
+        try:
+            entries = iter_segment(path)
+            first = next(entries, None)
+            if first is None:
+                return None
+            _, _, key, meta = first
+            if key != self.META_KEY or not isinstance(meta, dict):
+                return None
+            if meta.get("stage") != stage.name:
+                return None
+            if meta.get("key_repr") != repr(stage.key):
+                return None
+            num_reducers = meta["num_reducers"]
+            by_reducer: list[list[tuple[Any, Any]]] | None = (
+                [[] for _ in range(num_reducers)] if num_reducers is not None else None
+            )
+            outputs: list[tuple[Any, Any]] = []
+            for task, _, pair_key, value in entries:
+                if by_reducer is not None:
+                    by_reducer[task - 1].append((pair_key, value))
+                else:
+                    outputs.append((pair_key, value))
+            if by_reducer is not None:
+                outputs = [pair for per_reducer in by_reducer for pair in per_reducer]
+            return JobResult(
+                job_name=meta["job_name"],
+                outputs=outputs,
+                outputs_by_reducer=by_reducer,
+                side_outputs=meta["side_outputs"],
+                counters=meta["counters"],
+                stats=meta["stats"],
+            )
+        except Exception:
+            # any defect — CRC mismatch, truncation, unpicklable entry,
+            # stale schema — means "no checkpoint": the stage just re-runs
+            return None
+
+    def save(self, stage: Stage, result: JobResult) -> Path | None:
+        """Best-effort write of one stage's result; returns the path, or
+        ``None`` when the result cannot be persisted (unpicklable outputs,
+        disk errors) — resume then simply re-runs the stage."""
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.path_for(stage)
+            meta = {
+                "stage": stage.name,
+                "key_repr": repr(stage.key),
+                "job_name": result.job_name,
+                "num_reducers": (
+                    len(result.outputs_by_reducer)
+                    if result.outputs_by_reducer is not None
+                    else None
+                ),
+                "side_outputs": result.side_outputs,
+                "counters": result.counters,
+                "stats": result.stats,
+            }
+            entries: list[tuple] = [(0, 0, self.META_KEY, meta, 0, 0)]
+            seq = 1
+            if result.outputs_by_reducer is not None:
+                for reducer, pairs in enumerate(result.outputs_by_reducer):
+                    for pair_key, value in pairs:
+                        entries.append((reducer + 1, seq, pair_key, value, 0, 0))
+                        seq += 1
+            else:
+                for pair_key, value in result.outputs:
+                    entries.append((1, seq, pair_key, value, 0, 0))
+                    seq += 1
+            tmp = path.with_name(path.name + ".tmp")
+            write_segment(tmp, 0, entries)
+            os.replace(tmp, path)
+            return path
+        except Exception:
+            return None
+
+
 class PlanScheduler:
     """Executes a :class:`JobGraph` on one runtime, concurrently when it can.
 
@@ -372,6 +495,14 @@ class PlanScheduler:
     hatch (CLI ``--no-plan-concurrency``): strict declaration order, exactly
     the imperative drivers' schedule.  Both modes produce bit-identical
     results, counters and shuffle accounting; tests enforce it.
+
+    ``checkpoint_dir`` (CLI ``--checkpoint-dir``) turns on stage-level
+    checkpointing via a :class:`StageCheckpointStore`: every completed
+    stage's result is persisted, and a re-run of the same plan restores
+    completed stages instead of re-executing their jobs — builders still
+    run (they produce master-side artifacts), only the MapReduce work is
+    skipped.  A killed run therefore resumes from its last finished stage,
+    with results bit-identical to an uninterrupted run.
     """
 
     def __init__(
@@ -380,6 +511,7 @@ class PlanScheduler:
         cache: PlanCache | None = None,
         concurrent: bool = True,
         max_stage_workers: int | None = None,
+        checkpoint_dir: str | os.PathLike | None = None,
     ) -> None:
         self.runtime = runtime
         self.cache = cache
@@ -387,6 +519,9 @@ class PlanScheduler:
         if max_stage_workers is not None and max_stage_workers < 1:
             raise ValueError("max_stage_workers must be >= 1")
         self.max_stage_workers = max_stage_workers
+        self.checkpoints = (
+            StageCheckpointStore(checkpoint_dir) if checkpoint_dir else None
+        )
 
     def execute(self, graph: JobGraph) -> PlanRun:
         """Run every stage of the graph; returns the completed plan run."""
@@ -442,6 +577,14 @@ class PlanScheduler:
         built = node.build(StageContext(run, execution))
         if built is not None:
             job, splits = built
+            restored = (
+                self.checkpoints.load(node) if self.checkpoints is not None else None
+            )
+            if restored is not None:
+                execution.result = restored
+                execution.from_checkpoint = True
+                execution.finished_s = time.perf_counter()
+                return
             if self.cache is not None and node.key is not None:
                 # coalesced: concurrent stages sharing this key (a fused
                 # sweep's common prefix) execute the job exactly once
@@ -452,4 +595,8 @@ class PlanScheduler:
             else:
                 result = self.runtime.run(job, splits)
             execution.result = result
+            if self.checkpoints is not None:
+                # cached results are saved too: resume must not depend on
+                # the (in-process) plan cache being warm
+                self.checkpoints.save(node, result)
         execution.finished_s = time.perf_counter()

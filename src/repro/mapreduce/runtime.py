@@ -24,31 +24,47 @@ The runtime is split into three layers:
   *manifests*, and feeds reducers a streaming k-way external merge.  Both
   backends produce bit-identical outputs and accounting.
 
-Fault tolerance is modelled: a ``fault_injector`` callback may fail any task
-attempt; the scheduler re-executes the task (fresh instances from the
-factories) up to ``max_attempts`` times, and only successful attempts
-contribute output, counters and side outputs — exactly once semantics, as
-Hadoop provides through output commit.  Injection is evaluated on the
-scheduler side, so stateful injectors work under every engine.  Spilled
-segments written by failed attempts are never referenced (each attempt's
-files carry its attempt number) and vanish when the store closes.
+Fault tolerance is real, not just modelled: a ``fault_injector`` (a seeded
+:class:`~repro.mapreduce.faults.ChaosPlan`, or the legacy bare callable) may
+crash, delay or kill any task attempt and corrupt or delete spill segments;
+the scheduler re-executes tasks (fresh instances from the factories) up to
+``max_attempts`` times with exponential backoff, launches speculative
+duplicate attempts for stragglers past their soft deadline (first success
+wins, the loser's output is discarded — attempt-numbered spill files make
+that safe), re-runs the producing map task when a reducer hits a lost or
+corrupt segment (:class:`~repro.mapreduce.shuffle.SegmentLost`), and
+survives broken worker pools.  Only successful attempts contribute output,
+counters and side outputs — exactly once semantics, as Hadoop provides
+through output commit.  Injection decisions are evaluated on the scheduler
+side from hashed identities, so the same tasks fail the same way under
+every engine.  Spilled segments written by failed or superseded attempts
+are deleted eagerly (``spill_files_deleted``); whatever slips through
+vanishes when the store closes.
 """
 
 from __future__ import annotations
 
+import os
+import statistics
+import threading
 import time
+import zlib
 from collections.abc import Callable, Iterator, Sequence
-from dataclasses import dataclass, field
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, wait as futures_wait
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any
 
 from .counters import Counters
 from .engines import DEFAULT_ENGINE, Executor, get_executor
+from .faults import ChaosPlan, resolve_chaos
 from .job import Context, MapReduceJob
 from .serialization import estimate_bytes, record_count, shuffle_sort_key
 from .shuffle import (
     DEFAULT_MERGE_FAN_IN,
     DEFAULT_SHUFFLE,
     MapManifest,
+    SegmentLost,
     ShuffleStore,
     SpillMapWriter,
     SpillSpec,
@@ -60,12 +76,54 @@ from .types import InputSplit
 
 __all__ = ["LocalRuntime", "JobResult", "TaskFailure", "FaultInjector"]
 
-#: signature: (kind, task_id, attempt) -> True to fail this attempt
+#: legacy signature: (kind, task_id, attempt) -> True to fail this attempt.
+#: ``LocalRuntime`` also accepts a :class:`~repro.mapreduce.faults.ChaosPlan`
+#: (or anything with its ``attempt_action``/``segment_action`` interface).
 FaultInjector = Callable[[str, str, int], bool]
+
+#: exceptions that mean "the engine lost workers", not "the task failed":
+#: the scheduler turns them into retryable attempt failures
+_WORKER_LOSS_ERRORS = (BrokenExecutor, threading.BrokenBarrierError)
+
+#: how long the scheduler waits for superseded (loser) attempts to finish
+#: before detaching them with a cleanup callback
+_LOSER_GRACE_S = 5.0
 
 
 class TaskFailure(RuntimeError):
-    """A task attempt failed (injected or raised by user code)."""
+    """A task attempt failed (injected or raised by user code).
+
+    Scheduler-raised failures carry structured context — ``job_name``,
+    ``task_id``, ``kind`` (map/reduce) and the ``attempts`` consumed — and
+    chain the root-cause exception (``__cause__``), so a failure that
+    crossed an engine boundary is still debuggable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        job_name: str = "",
+        task_id: str = "",
+        kind: str = "",
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.job_name = job_name
+        self.task_id = task_id
+        self.kind = kind
+        self.attempts = attempts
+
+    def __reduce__(self):  # exceptions with extra state need explicit pickling
+        return (
+            _rebuild_task_failure,
+            (str(self), self.job_name, self.task_id, self.kind, self.attempts),
+        )
+
+
+def _rebuild_task_failure(message, job_name, task_id, kind, attempts):
+    return TaskFailure(
+        message, job_name=job_name, task_id=task_id, kind=kind, attempts=attempts
+    )
 
 
 @dataclass
@@ -107,6 +165,10 @@ class _TaskSpec:
     merge_fan_in: int = DEFAULT_MERGE_FAN_IN  # reduce: max runs per merge
     spill: SpillSpec | None = None  # map: write segments, return a manifest
     attempt: int = 1  # current attempt number (uniquifies spill file names)
+    chaos_delay_s: float = 0.0  # injected straggler sleep for this attempt
+    #: nonzero = scheduler pid; the worker dies (``os._exit``) iff its own
+    #: pid differs, so an inline fallback can never kill the scheduler
+    chaos_kill_from: int = 0
 
     def input_records(self) -> int:
         # record-weighted: a columnar RecordBlock counts its rows, so task
@@ -143,6 +205,12 @@ class _AttemptOutcome:
     #: the caught exception itself — keeps the user-code traceback for the
     #: in-process engines (pickling strips tracebacks across processes)
     cause: TaskFailure | None = None
+    #: set when the failure was a lost/corrupt shuffle segment: the path that
+    #: failed, the producing map task's index (the recovery handle; -1 when
+    #: the segment had no single producer) and whether a CRC check caught it
+    lost_path: str = ""
+    lost_task_index: int = -1
+    checksum_failure: bool = False
 
 
 @dataclass
@@ -163,6 +231,17 @@ class _Attempted:
         return _emission_records(self.emissions)
 
 
+@dataclass
+class _MapRecovery:
+    """What the reduce phase needs to re-run a map task whose output was lost:
+    the original map specs by index, and the attempts each already consumed
+    (a recovery re-run continues the numbering, so its spill files never
+    collide with still-referenced files of the superseded attempt)."""
+
+    specs: dict[int, _TaskSpec]
+    attempts: dict[int, int]
+
+
 def _execute_attempt(job: MapReduceJob, task: _TaskSpec) -> _AttemptOutcome:
     """Run one task attempt end to end (module-level: picklable by reference).
 
@@ -177,6 +256,12 @@ def _execute_attempt(job: MapReduceJob, task: _TaskSpec) -> _AttemptOutcome:
     started = time.thread_time()
     manifest: MapManifest | None = None
     try:
+        if task.chaos_kill_from:
+            _chaos_kill_worker(task)
+        if task.chaos_delay_s > 0.0:
+            # wall-clock sleep: thread_time() measures CPU, so an injected
+            # straggler delays completion without distorting task stats
+            time.sleep(task.chaos_delay_s)
         if task.kind == "map" and task.spill is not None:
             emissions, manifest = [], _map_attempt_spilled(job, task, ctx)
         elif task.kind == "map":
@@ -185,6 +270,18 @@ def _execute_attempt(job: MapReduceJob, task: _TaskSpec) -> _AttemptOutcome:
             emissions = _reduce_attempt(job, task, ctx)
     except TaskFailure as error:
         return _AttemptOutcome(ok=False, error=str(error), cause=error)
+    except SegmentLost as error:
+        failure = TaskFailure(
+            str(error), task_id=task.task_id, kind=task.kind, attempts=task.attempt
+        )
+        return _AttemptOutcome(
+            ok=False,
+            error=str(error),
+            cause=failure,
+            lost_path=error.path,
+            lost_task_index=error.task_index,
+            checksum_failure=error.checksum,
+        )
     duration = time.thread_time() - started
     counters, side_outputs = ctx.drain()
     return _AttemptOutcome(
@@ -195,6 +292,42 @@ def _execute_attempt(job: MapReduceJob, task: _TaskSpec) -> _AttemptOutcome:
         side_outputs=side_outputs,
         duration_s=duration,
     )
+
+
+def _chaos_kill_worker(task: _TaskSpec) -> None:
+    """Die like an OOM-killed worker process: no cleanup, no goodbye.
+
+    Only when this code actually runs in a worker process (pid differs from
+    the scheduler that stamped the spec) — engines fall back to inline
+    execution for tiny batches, where exiting would take the scheduler down.
+    There the kill degrades to a crash, which the scheduler retries.
+    """
+    if os.getpid() != task.chaos_kill_from:
+        os._exit(13)
+    raise TaskFailure(
+        f"chaos kill of {task.task_id} attempt {task.attempt} "
+        "(task ran inline in the scheduler process; degraded to a crash)",
+        task_id=task.task_id,
+        kind=task.kind,
+        attempts=task.attempt,
+    )
+
+
+def _discard_detached_loser(future) -> None:
+    """Done-callback for a superseded attempt that outlived its grace period:
+    delete whatever spill files it produced.  Runs on an executor callback
+    thread after the phase has moved on — it must never touch scheduler
+    state, and silence is the only acceptable failure mode."""
+    try:
+        outcome = future.result()
+    except BaseException:
+        return
+    if outcome.ok and outcome.manifest is not None:
+        for segment in outcome.manifest.segments:
+            try:
+                os.unlink(segment.path)
+            except OSError:
+                pass
 
 
 def _iter_map_emissions(
@@ -295,6 +428,20 @@ class LocalRuntime:
     Both backends produce bit-identical results and accounting under every
     engine and codec.
 
+    Fault-tolerance knobs: ``fault_injector`` takes a seeded
+    :class:`~repro.mapreduce.faults.ChaosPlan` (or the legacy bare
+    callable); ``max_attempts`` bounds retries, which back off exponentially
+    (``retry_backoff_s`` doubling per round up to ``retry_backoff_cap_s``,
+    with deterministic jitter).  ``task_timeout`` sets an absolute soft
+    deadline in seconds after which a running attempt gets a speculative
+    duplicate (first success wins); without it, ``speculation`` (on by
+    default) infers a deadline of ``speculation_factor`` × the median
+    completed attempt wall time in the phase, floored at
+    ``speculation_floor_s`` so millisecond-scale tasks never speculate.
+    Speculation needs per-task completion events, so it is active only on
+    engines that provide them (threads/processes and their pooled variants);
+    the serial engine ignores it.
+
     The runtime has an explicit lifecycle: :meth:`close` tears down the
     executor and shuffle store it constructed (idempotent; instances passed
     in belong to the caller and are left open), and the runtime is a context
@@ -304,7 +451,7 @@ class LocalRuntime:
 
     def __init__(
         self,
-        fault_injector: FaultInjector | None = None,
+        fault_injector: FaultInjector | ChaosPlan | None = None,
         max_attempts: int = 4,
         engine: str = DEFAULT_ENGINE,
         max_workers: int | None = None,
@@ -313,11 +460,26 @@ class LocalRuntime:
         memory_budget: int | None = None,
         spill_dir: str | None = None,
         spill_codec: str = "none",
+        task_timeout: float | None = None,
+        speculation: bool = True,
+        speculation_factor: float = 4.0,
+        speculation_floor_s: float = 2.0,
+        retry_backoff_s: float = 0.02,
+        retry_backoff_cap_s: float = 1.0,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be > 0 seconds")
         self.fault_injector = fault_injector
+        self._chaos = resolve_chaos(fault_injector)
         self.max_attempts = max_attempts
+        self.task_timeout = task_timeout
+        self.speculation = speculation
+        self.speculation_factor = speculation_factor
+        self.speculation_floor_s = speculation_floor_s
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_cap_s = retry_backoff_cap_s
         self._owns_executor = executor is None
         self.executor = executor if executor is not None else get_executor(engine, max_workers)
         self._owns_store = not isinstance(shuffle, ShuffleStore)
@@ -400,7 +562,7 @@ class LocalRuntime:
                     kind="map", task_id=task_id, index=index, split=split, spill=spill
                 )
             )
-        map_results = self._run_phase(job, map_specs)
+        map_results = self._run_phase(job, map_specs, stats)
         for spec, attempt in zip(map_specs, map_results):
             counters.merge(attempt.counters)
             for channel, values in attempt.side_outputs.items():
@@ -435,10 +597,21 @@ class LocalRuntime:
             )
             for plan in reduce_inputs
         ]
+        # reducers can lose a segment (deleted, corrupt) mid-merge; the
+        # recovery context lets the phase re-run the producing map task —
+        # attempt numbering continues where the map phase left off, so the
+        # re-run's spill files never collide with still-referenced ones
+        map_recovery = _MapRecovery(
+            specs={spec.index: spec for spec in map_specs},
+            attempts={
+                spec.index: attempt.attempts
+                for spec, attempt in zip(map_specs, map_results)
+            },
+        )
         reduce_results = dict(
             zip(
                 (spec.index for spec in reduce_specs),
-                self._run_phase(job, reduce_specs),
+                self._run_phase(job, reduce_specs, stats, map_recovery=map_recovery),
             )
         )
 
@@ -478,42 +651,85 @@ class LocalRuntime:
 
     # -- phase scheduling -------------------------------------------------------
 
-    def _run_phase(self, job: MapReduceJob, specs: list[_TaskSpec]) -> list[_Attempted]:
+    def _run_phase(
+        self,
+        job: MapReduceJob,
+        specs: list[_TaskSpec],
+        stats: JobStats,
+        map_recovery: _MapRecovery | None = None,
+        start_attempts: dict[int, int] | None = None,
+    ) -> list[_Attempted]:
         """Run one phase's tasks through the engine, with scheduler-side retries.
 
         Each round dispatches every still-pending task as one engine batch;
-        failed attempts (injected or raised as :class:`TaskFailure` by user
-        code) re-enter the next round until they succeed or exhaust
-        ``max_attempts``.  Results come back in spec order regardless of how
-        many rounds their tasks needed.
+        failed attempts (injected chaos, :class:`TaskFailure` raised by user
+        code, lost workers, lost segments) re-enter the next round — after an
+        exponential backoff — until they succeed or exhaust ``max_attempts``.
+        When the engine can report per-task completions, dispatch goes through
+        the speculative path, which duplicates attempts that outlive their
+        soft deadline.  A reduce attempt that failed because a shuffle segment
+        was lost or corrupt triggers map recovery between rounds: the
+        producing map task re-runs (``map_recovery`` carries its spec) and the
+        pending reduce specs are re-pointed at the fresh segments.  Results
+        come back in spec order regardless of how many rounds their tasks
+        needed.
         """
         completed: dict[int, _Attempted] = {}
-        attempts_used = {spec.index: 0 for spec in specs}
+        attempts_used = {
+            spec.index: (start_attempts or {}).get(spec.index, 0) for spec in specs
+        }
+        refunds = {spec.index: 0 for spec in specs}
+        durations: list[float] = []  # wall seconds of completed attempts
         pending = list(specs)
+        round_number = 0
         while pending:
+            round_number += 1
+            if round_number > 1:
+                self._backoff_before_retry(pending[0].task_id, round_number)
             dispatch: list[_TaskSpec] = []
             retry: list[_TaskSpec] = []
             for spec in pending:
                 attempts_used[spec.index] += 1
                 number = attempts_used[spec.index]
                 spec.attempt = number  # spill files are attempt-tagged
-                if self.fault_injector is not None and self.fault_injector(
-                    spec.kind, spec.task_id, number
-                ):
-                    cause = TaskFailure(
-                        f"injected failure of {spec.task_id} attempt {number}"
+                spec.chaos_delay_s = 0.0
+                spec.chaos_kill_from = 0
+                action = (
+                    self._chaos.attempt_action(
+                        job.name, spec.kind, spec.task_id, number
                     )
-                    self._check_attempts_left(spec, number, cause)
+                    if self._chaos is not None
+                    else None
+                )
+                if (
+                    action is not None
+                    and action.action == "kill"
+                    and not self.executor.process_based
+                ):
+                    # no worker process to kill on this engine
+                    action = replace(action, action="crash")
+                if action is not None and action.action == "crash":
+                    cause = TaskFailure(
+                        f"injected failure of {spec.task_id} attempt {number}",
+                        job_name=job.name,
+                        task_id=spec.task_id,
+                        kind=spec.kind,
+                        attempts=number,
+                    )
+                    self._check_attempts_left(job, spec, number, cause)
                     retry.append(spec)
-                else:
-                    dispatch.append(spec)
-            outcomes = (
-                self.executor.run_tasks(_execute_attempt, job, dispatch)
-                if dispatch
-                else []
-            )
+                    continue
+                if action is not None and action.action == "delay":
+                    spec.chaos_delay_s = action.delay_s
+                elif action is not None and action.action == "kill":
+                    spec.chaos_kill_from = os.getpid()
+                dispatch.append(spec)
+            outcomes = self._dispatch(job, dispatch, attempts_used, durations, stats)
+            lost_indices: set[int] = set()
             for spec, outcome in zip(dispatch, outcomes):
                 if outcome.ok:
+                    if spec.kind == "map":
+                        self._apply_segment_chaos(job, spec, outcome.manifest)
                     completed[spec.index] = _Attempted(
                         emissions=outcome.emissions,
                         counters=outcome.counters,
@@ -523,22 +739,427 @@ class LocalRuntime:
                         input_records=spec.input_records(),
                         manifest=outcome.manifest,
                     )
-                else:
-                    cause = outcome.cause or TaskFailure(outcome.error)
-                    self._check_attempts_left(
-                        spec, attempts_used[spec.index], cause
-                    )
-                    retry.append(spec)
+                    continue
+                if outcome.checksum_failure:
+                    stats.checksum_failures += 1
+                self._delete_attempt_spills(spec, attempts_used[spec.index], stats)
+                recoverable = (
+                    outcome.lost_task_index >= 0
+                    and map_recovery is not None
+                    and outcome.lost_task_index in map_recovery.specs
+                )
+                if recoverable:
+                    lost_indices.add(outcome.lost_task_index)
+                    if refunds[spec.index] < self.max_attempts:
+                        # blame the mapper, as Hadoop blames fetch failures
+                        # on the serving side: the reduce attempt is refunded
+                        # (bounded, so a persistently-corrupting fault still
+                        # terminates through normal attempt accounting)
+                        refunds[spec.index] += 1
+                        attempts_used[spec.index] -= 1
+                        retry.append(spec)
+                        continue
+                cause = outcome.cause or TaskFailure(
+                    outcome.error,
+                    job_name=job.name,
+                    task_id=spec.task_id,
+                    kind=spec.kind,
+                    attempts=attempts_used[spec.index],
+                )
+                self._check_attempts_left(job, spec, attempts_used[spec.index], cause)
+                retry.append(spec)
+            if lost_indices:
+                self._recover_lost_maps(
+                    job, sorted(lost_indices), map_recovery, retry, stats
+                )
             pending = retry
         return [completed[spec.index] for spec in specs]
 
     def _check_attempts_left(
-        self, spec: _TaskSpec, number: int, cause: TaskFailure
+        self, job: MapReduceJob, spec: _TaskSpec, number: int, cause: TaskFailure
     ) -> None:
         if number >= self.max_attempts:
             raise TaskFailure(
-                f"task {spec.task_id} failed after {self.max_attempts} attempts"
+                f"job {job.name!r}: {spec.kind} task {spec.task_id} failed after "
+                f"{self.max_attempts} attempts: {cause}",
+                job_name=job.name,
+                task_id=spec.task_id,
+                kind=spec.kind,
+                attempts=self.max_attempts,
             ) from cause
+
+    def _backoff_before_retry(self, task_id: str, round_number: int) -> None:
+        """Exponential backoff before a retry round, with deterministic jitter
+        (hashed from the first pending task's identity, not drawn from an
+        RNG) so concurrent phases don't retry in lockstep."""
+        if self.retry_backoff_s <= 0:
+            return
+        delay = min(
+            self.retry_backoff_s * 2 ** (round_number - 2), self.retry_backoff_cap_s
+        )
+        fraction = (zlib.crc32(f"{task_id}|{round_number}".encode()) % 1000) / 1000.0
+        time.sleep(delay * (0.75 + 0.5 * fraction))
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        job: MapReduceJob,
+        dispatch: list[_TaskSpec],
+        attempts_used: dict[int, int],
+        durations: list[float],
+        stats: JobStats,
+    ) -> list[_AttemptOutcome]:
+        """Run one round's batch, turning lost-worker errors into retryable
+        per-task failures.  Prefers the engine's per-task completion events
+        (``submit_batch``) so stragglers can be speculatively duplicated;
+        engines without them (serial) run the batch as one blocking call."""
+        if not dispatch:
+            return []
+        if self.speculation and len(dispatch) > 1:
+            try:
+                batch = self.executor.submit_batch(_execute_attempt, job, dispatch)
+            except _WORKER_LOSS_ERRORS as error:
+                # pooled engines note their own break on the submit path
+                return [self._worker_lost_outcome(spec, error) for spec in dispatch]
+            if batch is not None:
+                return self._dispatch_speculative(
+                    job, batch, dispatch, attempts_used, durations, stats
+                )
+        started = time.monotonic()
+        try:
+            outcomes = list(self.executor.run_tasks(_execute_attempt, job, dispatch))
+        except _WORKER_LOSS_ERRORS as error:
+            return [self._worker_lost_outcome(spec, error) for spec in dispatch]
+        if len(dispatch) == 1:
+            durations.append(time.monotonic() - started)
+        return outcomes
+
+    def _dispatch_speculative(
+        self,
+        job: MapReduceJob,
+        batch,
+        dispatch: list[_TaskSpec],
+        attempts_used: dict[int, int],
+        durations: list[float],
+        stats: JobStats,
+    ) -> list[_AttemptOutcome]:
+        """Event-driven dispatch with soft deadlines and duplicate attempts.
+
+        Waits for completions with a timeout set by the earliest pending
+        deadline; an attempt still running past its deadline gets a duplicate
+        (chaos-free — the duplicate exists to dodge the injected straggler)
+        submitted to the same batch.  First success wins; the loser's output
+        is discarded and its spill files deleted.  If a worker dies, the
+        remaining futures are drained without speculating and every affected
+        task becomes a retryable failure.
+        """
+        results: list[_AttemptOutcome | None] = [None] * len(dispatch)
+        now = time.monotonic()
+        started = [now] * len(dispatch)
+        duplicated = [False] * len(dispatch)
+        dup_attempt = [0] * len(dispatch)
+        parked_failures: dict[int, _AttemptOutcome] = {}
+        active: dict[Any, tuple[int, int]] = {}  # future -> (pos, attempt no.)
+        broken = False
+        for pos, future in enumerate(batch.futures):
+            active[future] = (pos, dispatch[pos].attempt)
+        try:
+            while active:
+                if all(result is not None for result in results):
+                    # only superseded losers are still running
+                    self._drain_losers(active, stats)
+                    break
+                timeout = self._wait_timeout(results, duplicated, started, durations)
+                done, _ = futures_wait(
+                    set(active), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                now = time.monotonic()
+                for future in done:
+                    pos, attempt_number = active.pop(future)
+                    outcome, worker_lost = self._future_outcome(
+                        dispatch[pos], attempt_number, future
+                    )
+                    if worker_lost and not broken:
+                        broken = True
+                        self.executor.handle_broken()
+                    if results[pos] is not None:
+                        # a sibling attempt already resolved this task
+                        self._discard_loser(outcome, stats)
+                        continue
+                    sibling_running = any(p == pos for p, _ in active.values())
+                    if outcome.ok:
+                        parked_failures.pop(pos, None)
+                        results[pos] = outcome
+                        durations.append(now - started[pos])
+                        if duplicated[pos] and attempt_number == dup_attempt[pos]:
+                            stats.speculative_wins += 1
+                    elif sibling_running:
+                        # let the duplicate finish before declaring failure
+                        parked_failures[pos] = outcome
+                    else:
+                        # both attempts failed: report the original's failure
+                        results[pos] = parked_failures.pop(pos, outcome)
+                if broken:
+                    continue  # just drain; the retry round rebuilds the pool
+                deadline = self._deadline(durations)
+                if deadline is None:
+                    continue
+                for pos, spec in enumerate(dispatch):
+                    if results[pos] is not None or duplicated[pos]:
+                        continue
+                    if now - started[pos] < deadline:
+                        continue
+                    if attempts_used[spec.index] + 1 > self.max_attempts:
+                        continue  # no attempt left to speculate with
+                    attempts_used[spec.index] += 1
+                    number = attempts_used[spec.index]
+                    duplicate = replace(
+                        spec, attempt=number, chaos_delay_s=0.0, chaos_kill_from=0
+                    )
+                    try:
+                        future = batch.submit(duplicate)
+                    except _WORKER_LOSS_ERRORS:
+                        attempts_used[spec.index] -= 1
+                        broken = True
+                        break
+                    duplicated[pos] = True
+                    dup_attempt[pos] = number
+                    active[future] = (pos, number)
+        finally:
+            batch.close()
+        for pos, spec in enumerate(dispatch):
+            if results[pos] is None:
+                results[pos] = parked_failures.get(pos) or self._worker_lost_outcome(
+                    spec, RuntimeError("attempt never completed")
+                )
+        return results
+
+    def _future_outcome(
+        self, spec: _TaskSpec, attempt_number: int, future
+    ) -> tuple[_AttemptOutcome, bool]:
+        """Resolve one attempt future; lost workers become failure values."""
+        try:
+            return future.result(), False
+        except _WORKER_LOSS_ERRORS as error:
+            return self._worker_lost_outcome(spec, error, attempt_number), True
+
+    def _worker_lost_outcome(
+        self, spec: _TaskSpec, error: BaseException, attempt_number: int | None = None
+    ) -> _AttemptOutcome:
+        number = attempt_number if attempt_number is not None else spec.attempt
+        return _AttemptOutcome(
+            ok=False,
+            error=(
+                f"worker lost running {spec.task_id} attempt {number}: "
+                f"{type(error).__name__}: {error}"
+            ),
+        )
+
+    def _deadline(self, durations: list[float]) -> float | None:
+        """Soft deadline for a running attempt: ``speculation_factor`` × the
+        median completed-attempt wall time this phase (floored so tiny tasks
+        never speculate), capped by an absolute ``task_timeout`` if set."""
+        deadline = None
+        if durations:
+            deadline = max(
+                statistics.median(durations) * self.speculation_factor,
+                self.speculation_floor_s,
+            )
+        if self.task_timeout is not None:
+            deadline = (
+                self.task_timeout
+                if deadline is None
+                else min(deadline, self.task_timeout)
+            )
+        return deadline
+
+    def _wait_timeout(
+        self,
+        results: list,
+        duplicated: list[bool],
+        started: list[float],
+        durations: list[float],
+    ) -> float | None:
+        """Longest time the wait may block before some pending attempt
+        crosses its deadline and deserves a speculative duplicate."""
+        deadline = self._deadline(durations)
+        if deadline is None:
+            return None
+        now = time.monotonic()
+        remaining = [
+            started[pos] + deadline - now
+            for pos in range(len(results))
+            if results[pos] is None and not duplicated[pos]
+        ]
+        if not remaining:
+            return None
+        return max(0.005, min(remaining))
+
+    def _drain_losers(self, active: dict, stats: JobStats) -> None:
+        """Every task is resolved but superseded attempts are still running:
+        give them a bounded grace to finish (so their files are deleted and
+        counted), then detach them with a cleanup callback."""
+        if not active:
+            return
+        done, not_done = futures_wait(set(active), timeout=_LOSER_GRACE_S)
+        for future in done:
+            active.pop(future, None)
+            try:
+                outcome = future.result()
+            except BaseException:
+                continue
+            self._discard_loser(outcome, stats)
+        for future in not_done:
+            active.pop(future, None)
+            future.add_done_callback(_discard_detached_loser)
+
+    def _discard_loser(self, outcome, stats: JobStats) -> None:
+        """Discard a superseded attempt's output, deleting its spill files
+        (attempt-numbered names mean they are referenced nowhere)."""
+        if outcome is None or not outcome.ok or outcome.manifest is None:
+            return
+        deleted = 0
+        for segment in outcome.manifest.segments:
+            try:
+                os.unlink(segment.path)
+                deleted += 1
+            except OSError:
+                pass
+        stats.spill_files_deleted += deleted
+
+    # -- chaos, cleanup and recovery --------------------------------------------
+
+    def _apply_segment_chaos(self, job: MapReduceJob, spec: _TaskSpec, manifest) -> None:
+        """Corrupt or delete one of a successful map attempt's segment files,
+        if a segment-level chaos rule fires for this attempt."""
+        if self._chaos is None or manifest is None or not manifest.segments:
+            return
+        segment_action = getattr(self._chaos, "segment_action", None)
+        if segment_action is None:
+            return
+        action = segment_action(job.name, spec.kind, spec.task_id, spec.attempt)
+        if action is None:
+            return
+        choose = getattr(self._chaos, "segment_choice", None)
+        choice = choose(spec.task_id, spec.attempt, len(manifest.segments)) if choose else 0
+        path = manifest.segments[choice].path
+        if action == "delete":
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return
+        try:
+            # flip the last byte — always inside the last entry's body, so
+            # the per-entry CRC32 catches it at read time
+            with open(path, "r+b") as stream:
+                stream.seek(-1, os.SEEK_END)
+                (byte,) = stream.read(1)
+                stream.seek(-1, os.SEEK_END)
+                stream.write(bytes((byte ^ 0xFF,)))
+        except OSError:
+            pass
+
+    def _delete_attempt_spills(
+        self, spec: _TaskSpec, attempt: int, stats: JobStats
+    ) -> None:
+        """Eagerly remove whatever spill files a failed attempt left behind —
+        map segments and reduce merge-scratch runs both carry the attempt
+        number in their names, so the glob can't touch live data."""
+        if spec.kind == "map":
+            if spec.spill is None:
+                return
+            directory = Path(spec.spill.directory)
+        elif spec.segments:
+            directory = Path(spec.segments[0].path).parent
+        else:
+            return
+        deleted = 0
+        try:
+            for path in directory.glob(f"{spec.task_id}-a{attempt:02d}-*"):
+                try:
+                    path.unlink()
+                    deleted += 1
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        stats.spill_files_deleted += deleted
+
+    def _recover_lost_maps(
+        self,
+        job: MapReduceJob,
+        lost_indices: list[int],
+        map_recovery: _MapRecovery,
+        retry: list[_TaskSpec],
+        stats: JobStats,
+    ) -> None:
+        """Re-run map tasks whose segments a reducer found lost or corrupt.
+
+        Runs between rounds (a barrier: no attempt is in flight), so it is
+        safe to delete the superseded attempts' files and re-point every
+        still-pending reduce spec at the fresh segments.  The re-run is
+        deterministic — same split, same partitioner, same spill decisions —
+        so it yields the same number of segments per reducer, and reducers
+        that already consumed the old files are unaffected.
+        """
+        for index in lost_indices:
+            respec = map_recovery.specs[index]
+            old_attempts = map_recovery.attempts[index]
+            rerun = self._run_phase(
+                job, [respec], stats, start_attempts={index: old_attempts}
+            )[0]
+            map_recovery.attempts[index] = rerun.attempts
+            stats.recovered_tasks += 1
+            manifest = rerun.manifest
+            if manifest is None:
+                continue
+            if respec.spill is not None:
+                deleted = 0
+                directory = Path(respec.spill.directory)
+                for old_attempt in range(1, old_attempts + 1):
+                    try:
+                        for path in directory.glob(
+                            f"{respec.task_id}-a{old_attempt:02d}-*"
+                        ):
+                            try:
+                                path.unlink()
+                                deleted += 1
+                            except OSError:
+                                pass
+                    except OSError:
+                        pass
+                stats.spill_files_deleted += deleted
+            fresh_by_reducer: dict[int, list] = {}
+            for segment in manifest.segments:
+                fresh_by_reducer.setdefault(segment.reducer, []).append(segment)
+            for spec in retry:
+                if spec.kind != "reduce" or spec.segments is None:
+                    continue
+                matching = sum(1 for s in spec.segments if s.task_index == index)
+                if matching == 0:
+                    continue
+                fresh = fresh_by_reducer.get(spec.index, [])
+                if matching != len(fresh):
+                    raise TaskFailure(
+                        f"recovered map task {respec.task_id} produced "
+                        f"{len(fresh)} segment(s) for reducer {spec.index}, "
+                        f"which referenced {matching}",
+                        job_name=job.name,
+                        task_id=respec.task_id,
+                        kind="map",
+                        attempts=rerun.attempts,
+                    )
+                cursor = 0
+                patched = []
+                for segment in spec.segments:
+                    if segment.task_index == index:
+                        patched.append(fresh[cursor])
+                        cursor += 1
+                    else:
+                        patched.append(segment)
+                spec.segments = tuple(patched)
 
 
 def _cache_bytes(cache: dict[str, Any]) -> int:

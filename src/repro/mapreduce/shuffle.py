@@ -74,6 +74,8 @@ __all__ = [
     "InMemoryShuffleStore",
     "SpillShuffleStore",
     "Segment",
+    "SegmentIntegrityError",
+    "SegmentLost",
     "MapManifest",
     "ReduceInput",
     "SpillSpec",
@@ -105,7 +107,7 @@ DEFAULT_SHUFFLE = "memory"
 #   header:  magic "SSEG" | version u16 | codec u8 | entry_count u32
 #            | record_count u64 | accounted_bytes u64
 #   entry:   task u32 | seq u32 | key_len u32 | value_len u32 | value_tag u8
-#            | key pickle | value payload
+#            | crc32 u32 | key pickle | value payload
 #
 # ``value_tag`` selects the payload encoding: RecordBlocks use the columnar
 # encode_record_block wire format, everything else a pickle.  The header's
@@ -119,13 +121,71 @@ DEFAULT_SHUFFLE = "memory"
 # provenance, so a run produced by an *intermediate merge* of many map-task
 # runs (the bounded-fan-in external merge) stays totally ordered by the same
 # key the original runs were.
+#
+# Version 3 added the per-entry ``crc32`` — zlib.crc32 over the entry body
+# (key pickle + on-disk value payload) — so a reader detects bit rot and
+# chaos-injected corruption *before* handing garbage to pickle or the block
+# decoder.  A mismatch raises :class:`SegmentIntegrityError`; the reduce-side
+# merge escalates it (and a vanished file) to :class:`SegmentLost`, which the
+# runtime answers by re-running the producing map task.
 
 _SEGMENT_MAGIC = b"SSEG"
-_SEGMENT_VERSION = 2
+_SEGMENT_VERSION = 3
 _SEGMENT_HEADER = struct.Struct("<4sHBIQQ")
-_ENTRY_HEADER = struct.Struct("<IIIIB")
+_ENTRY_HEADER = struct.Struct("<IIIIBI")
 _VALUE_PICKLE = 0
 _VALUE_BLOCK = 1
+
+
+class SegmentIntegrityError(ValueError):
+    """A segment entry's stored CRC32 does not match its bytes on disk."""
+
+    def __init__(self, path: str, entry: int, expected: int, actual: int) -> None:
+        super().__init__(
+            f"segment file {path}, entry {entry}: CRC mismatch "
+            f"(stored {expected:#010x}, computed {actual:#010x}) — "
+            "corrupt entry body"
+        )
+        self.path = str(path)
+        self.entry = entry
+
+
+class SegmentLost(RuntimeError):
+    """A reduce task could not read one of its input segments.
+
+    Raised by the reduce-side merge when a segment file has vanished or
+    fails validation (truncation, CRC mismatch, undecodable payload).  It
+    carries the producing map task's index so the scheduler can re-run just
+    that task and patch the manifests; ``task_index == -1`` means the lost
+    file was an intermediate merge run (or of unknown provenance) and only a
+    plain reduce retry can regenerate it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str = "",
+        task_index: int = -1,
+        reducer: int = -1,
+        checksum: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.task_index = task_index
+        self.reducer = reducer
+        self.checksum = checksum
+
+    def __reduce__(self):  # exceptions with extra args need explicit pickling
+        return (
+            _rebuild_segment_lost,
+            (str(self), self.path, self.task_index, self.reducer, self.checksum),
+        )
+
+
+def _rebuild_segment_lost(message, path, task_index, reducer, checksum):
+    return SegmentLost(
+        message, path=path, task_index=task_index, reducer=reducer, checksum=checksum
+    )
 
 
 # -- value-payload compression codecs ------------------------------------------
@@ -220,6 +280,10 @@ class Segment:
     accounted_bytes: int  # exact shuffle-bytes contribution (estimate_bytes)
     file_bytes: int  # actual bytes on disk (spill counter)
     codec: str = "none"  # value-payload compression (SEGMENT_CODECS name)
+    #: index of the producing map task, the recovery handle: when this
+    #: segment is lost the scheduler re-runs exactly that task.  -1 marks
+    #: runs with no single producer (intermediate merge runs, checkpoints).
+    task_index: int = -1
 
 
 @dataclass(frozen=True)
@@ -259,6 +323,7 @@ def write_segment(
     reducer: int,
     entries,
     codec: str = "none",
+    task_index: int = -1,
 ) -> Segment:
     """Write one sorted run to ``path``, streaming, and return its descriptor.
 
@@ -267,10 +332,13 @@ def write_segment(
     Rows are encoded and written one at a time (never a whole-segment buffer:
     spilling is where memory is scarce by definition), with the header
     totals patched in afterwards so accounting never needs the file re-read.
+    Each entry's body is protected by a CRC32 stored in its entry header.
 
     ``codec`` compresses each value payload (see :data:`SEGMENT_CODECS`);
     ``accounted_bytes`` rows are recorded verbatim, so shuffle accounting
     stays identical across codecs while ``file_bytes`` shrinks.
+    ``task_index`` stamps the descriptor with the producing map task (the
+    recovery handle); leave it at -1 for runs without a single producer.
     """
     path = Path(path)
     segment_codec = resolve_segment_codec(codec)
@@ -287,8 +355,11 @@ def write_segment(
             key_blob = pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
             tag, value_blob = _encode_value(value)
             value_blob = _compress_payload(segment_codec, value_blob)
+            crc = zlib.crc32(value_blob, zlib.crc32(key_blob))
             stream.write(
-                _ENTRY_HEADER.pack(task, seq, len(key_blob), len(value_blob), tag)
+                _ENTRY_HEADER.pack(
+                    task, seq, len(key_blob), len(value_blob), tag, crc
+                )
             )
             stream.write(key_blob)
             stream.write(value_blob)
@@ -315,6 +386,7 @@ def write_segment(
         accounted_bytes=accounted,
         file_bytes=file_bytes,
         codec=segment_codec.name,
+        task_index=task_index,
     )
 
 
@@ -359,14 +431,19 @@ def read_segment_codec(path: str | Path) -> str:
     return codec.name
 
 
-def iter_segment(path: str | Path) -> Iterator[tuple[int, int, Any, Any]]:
+def iter_segment(
+    path: str | Path, verify: bool = True
+) -> Iterator[tuple[int, int, Any, Any]]:
     """Yield ``(task, seq, key, value)`` entries of a segment file, lazily.
 
     Validates as it goes: a truncated file raises a ``ValueError`` naming the
     path and the expected-vs-actual byte counts; trailing bytes after the
-    declared entries (e.g. two segments concatenated) raise too.  Value
-    payload decompression and decode errors are re-raised as ``ValueError``
-    with the segment path and entry index attached.
+    declared entries (e.g. two segments concatenated) raise too.  Each
+    entry's CRC32 is checked against its body before anything is decoded
+    (a mismatch raises :class:`SegmentIntegrityError`; pass ``verify=False``
+    to skip the check — the bench's overhead measurement).  Value payload
+    decompression and decode errors are re-raised as ``ValueError`` with the
+    segment path and entry index attached.
     """
     codec, declared, _, _ = _read_raw_header(path)
     with open(path, "rb") as stream:
@@ -378,13 +455,17 @@ def iter_segment(path: str | Path) -> Iterator[tuple[int, int, Any, Any]]:
                     path, _ENTRY_HEADER.size, len(header),
                     f"the header of entry {index}/{declared}",
                 )
-            task, seq, key_len, value_len, tag = _ENTRY_HEADER.unpack(header)
+            task, seq, key_len, value_len, tag, crc = _ENTRY_HEADER.unpack(header)
             body = stream.read(key_len + value_len)
             if len(body) < key_len + value_len:
                 raise _truncated(
                     path, key_len + value_len, len(body),
                     f"entry {index}/{declared}",
                 )
+            if verify:
+                actual = zlib.crc32(body)
+                if actual != crc:
+                    raise SegmentIntegrityError(str(path), index, crc, actual)
             key = pickle.loads(body[:key_len])
             payload = body[key_len:]
             try:
@@ -505,6 +586,7 @@ class SpillMapWriter:
                     reducer,
                     ((task, *row) for row in buffer),
                     codec=self._spec.codec,
+                    task_index=task,
                 )
             )
             self._buffers[reducer] = []
@@ -532,9 +614,40 @@ def _entry_stream(segment: Segment) -> Iterator[tuple]:
     The leading triple is unique across a job (task index and emission seq
     disambiguate equal sort keys), so ``heapq.merge`` never compares the raw
     keys or values themselves.
+
+    A vanished or unreadable file surfaces as :class:`SegmentLost` carrying
+    the descriptor's producing-task index — the signal the scheduler's
+    map-task recovery path keys on.  Direct ``iter_segment`` users keep the
+    plain ``ValueError`` behavior.
     """
-    for task, seq, key, value in iter_segment(segment.path):
-        yield shuffle_sort_key(key), task, seq, key, value
+    try:
+        for task, seq, key, value in iter_segment(segment.path):
+            yield shuffle_sort_key(key), task, seq, key, value
+    except FileNotFoundError as error:
+        raise SegmentLost(
+            f"segment file {segment.path} has vanished "
+            f"(produced by map task {segment.task_index}): {error}",
+            path=segment.path,
+            task_index=segment.task_index,
+            reducer=segment.reducer,
+        ) from error
+    except SegmentIntegrityError as error:
+        raise SegmentLost(
+            f"segment checksum failure "
+            f"(produced by map task {segment.task_index}): {error}",
+            path=segment.path,
+            task_index=segment.task_index,
+            reducer=segment.reducer,
+            checksum=True,
+        ) from error
+    except ValueError as error:
+        raise SegmentLost(
+            f"segment unreadable "
+            f"(produced by map task {segment.task_index}): {error}",
+            path=segment.path,
+            task_index=segment.task_index,
+            reducer=segment.reducer,
+        ) from error
 
 
 def _merge_runs(

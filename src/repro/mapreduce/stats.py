@@ -38,6 +38,17 @@ class JobStats:
     input).  They are bookkeeping about *where* the shuffle lived, not part
     of the paper's measurements — shuffle records/bytes stay bit-identical
     across backends.
+
+    The robustness counters record what the fault-tolerance layer did:
+    ``recovered_tasks`` map tasks re-run because a reducer hit a lost or
+    corrupt segment, ``checksum_failures`` segment CRC mismatches detected,
+    ``speculative_wins`` tasks whose speculative duplicate finished before
+    the straggling original, ``spill_files_deleted`` segment files of
+    failed or superseded attempts removed eagerly.  They describe *how* the
+    job survived, never *what* it produced — results, user counters and
+    shuffle accounting stay bit-identical with or without faults — and
+    ``speculative_wins`` is timing-dependent, so none of them belong in
+    cross-engine fingerprints.
     """
 
     job_name: str
@@ -50,6 +61,10 @@ class JobStats:
     spill_segments: int = 0
     spill_bytes: int = 0
     merge_passes: int = 0
+    recovered_tasks: int = 0
+    speculative_wins: int = 0
+    checksum_failures: int = 0
+    spill_files_deleted: int = 0
 
     # -- aggregate work -------------------------------------------------------
 

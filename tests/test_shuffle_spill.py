@@ -20,6 +20,7 @@ from __future__ import annotations
 import pickle
 import struct
 import tempfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -170,7 +171,11 @@ class TestSegmentFormat:
         key_blob = pickle.dumps(0)
         bad_payload = encode_record_block(block)[:-8]
         blob = _SEGMENT_HEADER.pack(_SEGMENT_MAGIC, _SEGMENT_VERSION, 0, 1, 3, 0)
-        blob += _ENTRY_HEADER.pack(0, 0, len(key_blob), len(bad_payload), _VALUE_BLOCK)
+        crc = zlib.crc32(bad_payload, zlib.crc32(key_blob))  # honest CRC:
+        # the corruption must be caught by the *decode*, not the checksum
+        blob += _ENTRY_HEADER.pack(
+            0, 0, len(key_blob), len(bad_payload), _VALUE_BLOCK, crc
+        )
         blob += key_blob + bad_payload
         path = tmp_path / "bad-block.seg"
         path.write_bytes(blob)
