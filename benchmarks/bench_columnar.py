@@ -265,7 +265,8 @@ def shuffle_micro(
         best_wall, result = float("inf"), None
         for _ in range(max(1, repeats)):
             started = time.perf_counter()
-            result = LocalRuntime().run(job, splits)
+            with LocalRuntime() as runtime:
+                result = runtime.run(job, splits)
             best_wall = min(best_wall, time.perf_counter() - started)
         return best_wall, result
 

@@ -21,7 +21,9 @@ def test_fig8_effect_of_k_forest(benchmark, exhibit_runner):
         )
 
     # shuffle: PGBJ insensitive to k, the block framework linear in k
-    pgbj_growth = result.data["PGBJ"][ks[-1]]["shuffle_mb"] / result.data["PGBJ"][ks[0]]["shuffle_mb"]
-    hbrj_growth = result.data["H-BRJ"][ks[-1]]["shuffle_mb"] / result.data["H-BRJ"][ks[0]]["shuffle_mb"]
+    pgbj = result.data["PGBJ"]
+    hbrj = result.data["H-BRJ"]
+    pgbj_growth = pgbj[ks[-1]]["shuffle_mb"] / pgbj[ks[0]]["shuffle_mb"]
+    hbrj_growth = hbrj[ks[-1]]["shuffle_mb"] / hbrj[ks[0]]["shuffle_mb"]
     assert pgbj_growth < 1.5
     assert hbrj_growth > 1.8

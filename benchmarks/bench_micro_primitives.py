@@ -9,7 +9,7 @@ R-tree bulk load and query, and the reducer kernel.
 import numpy as np
 import pytest
 
-from repro.core import Dataset, VoronoiPartitioner, get_metric
+from repro.core import VoronoiPartitioner, get_metric
 from repro.core.bounds import compute_thetas
 from repro.core.summary import build_partial_summary
 from repro.datasets import generate_forest

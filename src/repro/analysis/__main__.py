@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — entry point for the repro-lint CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,116 @@
+"""``repro-lint`` — the determinism & distribution-safety analyzer CLI.
+
+Usage::
+
+    python -m repro.analysis [paths...]        # or: repro-lint [paths...]
+    repro-lint --list-rules
+    repro-lint --select DET001,PKL001 src/repro
+    repro-lint --format json src/repro benchmarks examples
+
+Exit codes (the CI contract): **0** clean, **1** findings reported,
+**2** usage error (unknown rule, missing path).  Suppress a single finding
+with a ``# repro-lint: disable=CODE`` comment on its line, or a whole file
+with ``# repro-lint: disable-file=CODE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from .engine import analyze_paths, select_rules
+from .registry import RULES, available_rules, resolve_codes
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static analyzer enforcing this repository's task-code "
+            "contracts: determinism (DET), distribution safety (PKL), "
+            "resource hygiene (RES) and shuffle accounting (ACC)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    width = max(len(code) for code in RULES)
+    for code in available_rules():
+        spec = RULES[code]
+        print(f"{code:<{width}}  {spec.name:<24} [{spec.category}] {spec.summary}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    try:
+        active = select_rules(
+            select=resolve_codes(args.select), ignore=resolve_codes(args.ignore)
+        )
+        findings, checked = analyze_paths(args.paths, active)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_checked": checked,
+                    "rules": [spec.code for spec in active],
+                    "findings": [finding.as_dict() for finding in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        summary = (
+            f"{len(findings)} finding(s) in {checked} file(s)"
+            if findings
+            else f"clean: {checked} file(s), {len(active)} rule(s)"
+        )
+        print(summary)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""The analysis engine: files in, ordered findings out.
+
+Parses each file once into a :class:`~repro.analysis.model.ModuleModel`,
+runs every selected rule over it, applies ``# repro-lint: disable=...``
+suppressions, and returns findings deduplicated and sorted by location.
+Syntax errors become ``E001`` findings (the file cannot be vouched for)
+rather than crashes, so one broken file never hides the report for the
+rest of the tree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+from . import rules  # noqa: F401  (importing registers the shipped rule set)
+from .findings import Finding
+from .model import ModuleModel
+from .registry import RULES, RuleSpec
+
+__all__ = [
+    "analyze_source",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+    "select_rules",
+]
+
+#: pseudo-rule code for files the parser rejects
+PARSE_ERROR_CODE = "E001"
+
+
+def select_rules(
+    select: Sequence[str] | None = None, ignore: Sequence[str] | None = None
+) -> list[RuleSpec]:
+    """The active rule list, after ``--select`` / ``--ignore`` filtering."""
+    codes = list(select) if select else sorted(RULES)
+    ignored = {code.upper() for code in ignore} if ignore else set()
+    return [RULES[code.upper()] for code in codes if code.upper() not in ignored]
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    active: Sequence[RuleSpec] | None = None,
+    respect_suppressions: bool = True,
+) -> list[Finding]:
+    """Run the active rules over one source text."""
+    try:
+        model = ModuleModel(path, source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path,
+                error.lineno or 1,
+                (error.offset or 1) - 1,
+                PARSE_ERROR_CODE,
+                f"cannot parse file: {error.msg}",
+            )
+        ]
+    collected: set[Finding] = set()
+    for spec in active if active is not None else select_rules():
+        for finding in spec.check(model):
+            if respect_suppressions and model.is_suppressed(
+                finding.code, finding.line
+            ):
+                continue
+            collected.add(finding)
+    return sorted(collected)
+
+
+def analyze_file(
+    path: str | Path, active: Sequence[RuleSpec] | None = None
+) -> list[Finding]:
+    """Run the active rules over one file on disk."""
+    file_path = Path(path)
+    source = file_path.read_text(encoding="utf-8")
+    return analyze_source(source, str(file_path), active)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files and directories into the ``.py`` files to analyze.
+
+    Directories recurse; ``__pycache__``, hidden directories and non-Python
+    files are skipped.  Missing paths raise ``FileNotFoundError`` — a typo
+    on the CI command line must fail the leg, not silently lint nothing.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = candidate.relative_to(path).parts
+                if any(
+                    part == "__pycache__" or part.startswith(".")
+                    for part in parts
+                ):
+                    continue
+                yield candidate
+        elif path.is_file():
+            yield path
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+
+
+def analyze_paths(
+    paths: Iterable[str | Path], active: Sequence[RuleSpec] | None = None
+) -> tuple[list[Finding], int]:
+    """Analyze every Python file under ``paths``.
+
+    Returns ``(findings, files_checked)`` with findings in stable
+    ``(path, line, col, code)`` order.
+    """
+    if active is None:
+        active = select_rules()
+    findings: list[Finding] = []
+    checked = 0
+    for file_path in iter_python_files(paths):
+        findings.extend(analyze_file(file_path, active))
+        checked += 1
+    return sorted(set(findings)), checked

@@ -1,0 +1,35 @@
+"""Finding records: what a rule reports, and how it renders.
+
+A finding pins one violation to a ``path:line:col`` location with its rule
+code — the stable identifier suppressions (``# repro-lint: disable=CODE``),
+the CLI ``--select``/``--ignore`` filters and the CI log all speak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is ``(path, line, col, code)`` — the stable presentation order
+    of every report, so reruns diff cleanly.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict:
+        """Plain-data form for the JSON output mode."""
+        return asdict(self)

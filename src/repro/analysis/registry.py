@@ -1,0 +1,91 @@
+"""The rule registry: every check as a declarative, addressable spec.
+
+Mirrors :mod:`repro.joins.registry`: rule modules register a
+:class:`RuleSpec` at import time, everything downstream is generic —
+:func:`get_rule` resolves codes case-insensitively with an
+available-rules error message, :func:`available_rules` drives the CLI's
+``--select``/``--ignore``/``--list-rules``, and the engine just iterates
+specs.  Adding a rule is one registered spec in a rule module; the engine,
+the CLI and the suppression machinery pick it up for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .findings import Finding
+    from .model import ModuleModel
+
+__all__ = [
+    "RuleSpec",
+    "RULES",
+    "register_rule",
+    "get_rule",
+    "available_rules",
+    "resolve_codes",
+]
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Registry row for one rule.
+
+    ``check`` receives a :class:`~repro.analysis.model.ModuleModel` and
+    yields raw findings; the engine applies suppressions and ordering, so
+    rules stay pure pattern matchers.
+    """
+
+    code: str  # "DET001" — stable id used by suppressions and filters
+    name: str  # "unseeded-rng" — human handle
+    category: str  # "determinism" | "distribution" | "resources" | "accounting"
+    summary: str  # one-line description for --list-rules and the README table
+    check: Callable[["ModuleModel"], Iterable["Finding"]]
+
+
+#: code -> spec; populated by the rule modules at import time
+RULES: dict[str, RuleSpec] = {}
+
+
+def register_rule(spec: RuleSpec) -> RuleSpec:
+    """Register a rule (module-import time); last registration wins."""
+    RULES[spec.code] = spec
+    return spec
+
+
+def get_rule(code: str) -> RuleSpec:
+    """Resolve a registered rule by code (case-insensitive)."""
+    try:
+        return RULES[code.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown rule {code!r}; available: {', '.join(available_rules())}"
+        ) from None
+
+
+def available_rules(category: str | None = None) -> tuple[str, ...]:
+    """Registered rule codes (optionally one category), sorted."""
+    return tuple(
+        sorted(
+            code
+            for code, spec in RULES.items()
+            if category is None or spec.category == category
+        )
+    )
+
+
+def resolve_codes(raw: str | Iterable[str] | None) -> tuple[str, ...] | None:
+    """Normalize a ``--select``/``--ignore`` value into known codes.
+
+    Accepts a comma-separated string or an iterable; unknown codes raise
+    the :func:`get_rule` error so typos fail loudly instead of silently
+    selecting nothing.
+    """
+    if raw is None:
+        return None
+    if isinstance(raw, str):
+        raw = raw.split(",")
+    codes = [code.strip() for code in raw if code and code.strip()]
+    return tuple(get_rule(code).code for code in codes)

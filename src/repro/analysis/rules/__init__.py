@@ -1,0 +1,21 @@
+"""The shipped rule set — importing this package registers every rule.
+
+One module per category, mirroring how join modules self-register in
+:data:`repro.joins.registry.JOINS`:
+
+* :mod:`.determinism` — DET001-004: task code as a pure function of
+  inputs and seeds;
+* :mod:`.distribution` — PKL001-003: job specs that survive the worker
+  boundary;
+* :mod:`.resources` — RES001-002: owned lifecycles for handles, runtimes
+  and pools;
+* :mod:`.accounting` — ACC001: emissions the shuffle can account.
+
+To add a rule: write a ``check(model)`` generator in the fitting category
+module (or a new one), register a :class:`~repro.analysis.registry.RuleSpec`
+at import time, and import the module here.
+"""
+
+from . import accounting, determinism, distribution, resources  # noqa: F401
+
+__all__ = ["accounting", "determinism", "distribution", "resources"]

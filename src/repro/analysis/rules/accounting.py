@@ -1,0 +1,79 @@
+"""ACC rules: every emission must be accountable by ``estimate_bytes``.
+
+Shuffle bytes are a headline measurement, and
+:func:`repro.mapreduce.serialization.estimate_bytes` deliberately raises on
+types it cannot size rather than guessing.  Sets and generators are the two
+expression shapes that are *statically* known to be outside the covered
+surface (numbers, strings, bytes, arrays, RecordBlocks, tuples/lists/dicts
+of those, objects with ``estimated_bytes()``) — a generator additionally
+being one-shot and unpicklable, so it cannot cross the worker boundary at
+all.  This rule rejects them at the emission site instead of at the first
+dataset that happens to exercise the path.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..findings import Finding
+from ..model import ModuleModel
+from ..registry import RuleSpec, register_rule
+
+#: task-class kinds whose yields enter the shuffle
+_EMITTING_KINDS = frozenset({"mapper", "reducer"})
+
+
+def _offending_shape(node: ast.AST) -> str | None:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(node, ast.GeneratorExp):
+        return "a generator expression"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return f"a {node.func.id}"
+    return None
+
+
+def check_unaccountable_emission(model: ModuleModel) -> Iterator[Finding]:
+    """ACC001: mapper/reducer yields a value estimate_bytes cannot size."""
+    for region in model.task_regions:
+        if region.kind not in _EMITTING_KINDS:
+            continue
+        for node in ast.walk(region.node):
+            if not isinstance(node, ast.Yield) or node.value is None:
+                continue
+            if model.task_region_of(node) is not region:
+                continue
+            emitted = node.value
+            slots = (
+                list(emitted.elts)
+                if isinstance(emitted, ast.Tuple) and len(emitted.elts) == 2
+                else [emitted]
+            )
+            for index, slot in enumerate(slots):
+                shape = _offending_shape(slot)
+                if shape is None:
+                    continue
+                part = ("key", "value")[index] if len(slots) == 2 else "emission"
+                yield Finding(
+                    model.path, slot.lineno, slot.col_offset, "ACC001",
+                    f"{region.kind} {region.name!r} emits {shape} as the "
+                    f"{part}: estimate_bytes cannot size it, so shuffle "
+                    "accounting would raise — emit a sorted tuple/list (or "
+                    "a type with estimated_bytes()) instead",
+                )
+
+
+def _register() -> None:
+    register_rule(RuleSpec(
+        code="ACC001", name="unaccountable-emission", category="accounting",
+        summary="emission bypasses the estimate_bytes-covered type surface",
+        check=check_unaccountable_emission,
+    ))
+
+
+_register()

@@ -1,0 +1,215 @@
+"""RES rules: files, runtimes and pools must have an owned lifecycle.
+
+PR 3 gave executors and runtimes explicit ``close()``/context-manager
+lifecycles and PR 4 moved the shuffle onto disk segments; both only help if
+every construction site actually scopes the resource.  A leaked segment
+handle exhausts descriptors under tight merge fan-in, and an unclosed
+pooled runtime strands worker processes.  These rules accept the
+repository's sanctioned idioms — ``with``, ``ExitStack.enter_context``,
+``contextlib.closing``, ``graph.resource(...)``, a ``.close()``/
+``.shutdown()`` in the same scope, or returning the resource to the caller
+(ownership transfer) — and flag everything else.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+
+from ..findings import Finding
+from ..model import ModuleModel
+from ..registry import RuleSpec, register_rule
+
+#: wrapper calls that take over a resource's lifecycle
+_LIFECYCLE_WRAPPERS = frozenset(
+    {"enter_context", "push", "callback", "closing", "resource"}
+)
+
+#: file-producing calls covered by RES001 (by resolved name or last segment)
+_FILE_FACTORIES = frozenset(
+    {
+        "gzip.open", "bz2.open", "lzma.open", "io.open", "codecs.open",
+        "tarfile.open", "tempfile.NamedTemporaryFile", "tempfile.TemporaryFile",
+        "tempfile.SpooledTemporaryFile", "zipfile.ZipFile",
+    }
+)
+
+#: runtime/executor-producing call names covered by RES002 (last segment)
+_RUNTIME_FACTORIES = frozenset(
+    {
+        "LocalRuntime", "make_runtime", "make_executor",
+        "ThreadPoolExecutor", "ProcessPoolExecutor",
+    }
+)
+
+_CLOSE_METHODS = frozenset({"close", "shutdown"})
+
+
+def _is_lifecycle_wrapped(model: ModuleModel, call: ast.Call) -> bool:
+    """``with``-item, ExitStack/closing wrapper, or returned to the caller."""
+    node: ast.AST = call
+    parent = model.parents.get(id(node))
+    while parent is not None:
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, (ast.Return, ast.Yield)):
+            return True  # ownership transfers to the caller
+        if isinstance(parent, ast.Call) and parent is not call:
+            target = parent.func
+            name = target.attr if isinstance(target, ast.Attribute) else (
+                target.id if isinstance(target, ast.Name) else None
+            )
+            if name in _LIFECYCLE_WRAPPERS:
+                return True
+            return False  # argument to an unrelated call: nobody owns it
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.Module)):
+            return False
+        node, parent = parent, model.parents.get(id(parent))
+    return False
+
+
+def _scope_closes_name(model: ModuleModel, call: ast.Call, name: str) -> bool:
+    """``name.close()`` / ``name.shutdown()`` / ``with name`` in scope."""
+    scope = model.enclosing_function(call) or model.tree
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _CLOSE_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            return True
+        if (
+            isinstance(node, ast.withitem)
+            and isinstance(node.context_expr, ast.Name)
+            and node.context_expr.id == name
+        ):
+            return True
+    return False
+
+
+def _class_closes_attribute(model: ModuleModel, call: ast.Call, attr: str) -> bool:
+    """Whether the enclosing class owns the attribute's lifecycle.
+
+    Accepts a direct ``<anything>.<attr>.close()`` anywhere in the class —
+    or, when there is an enclosing class, a ``close``/``shutdown``/
+    ``__exit__`` method on it: storing a resource on ``self`` inside a
+    class that participates in the close protocol hands ownership to that
+    protocol (the pooled executors' swap-then-shutdown pattern).
+    """
+    enclosing = model.enclosing_class(call)
+    scope: ast.AST = enclosing if enclosing is not None else model.tree
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _CLOSE_METHODS
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr == attr
+        ):
+            return True
+    if enclosing is not None:
+        for statement in enclosing.body:
+            if isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and statement.name in ("close", "shutdown", "__exit__"):
+                return True
+    return False
+
+
+def _is_managed(model: ModuleModel, call: ast.Call) -> bool:
+    if _is_lifecycle_wrapped(model, call):
+        return True
+    parent = model.parents.get(id(call))
+    targets: list[ast.AST] = []
+    if isinstance(parent, ast.Assign):
+        targets = parent.targets
+    elif isinstance(parent, (ast.AnnAssign, ast.NamedExpr)):
+        targets = [parent.target]
+    for target in targets:
+        if isinstance(target, ast.Name) and _scope_closes_name(model, call, target.id):
+            return True
+        if isinstance(target, ast.Attribute) and _class_closes_attribute(
+            model, call, target.attr
+        ):
+            return True
+    return False
+
+
+def _matching_calls(
+    model: ModuleModel, matcher: Callable[[ast.Call], str | None]
+) -> Iterator[tuple[ast.Call, str]]:
+    for node in ast.walk(model.tree):
+        if isinstance(node, ast.Call):
+            label = matcher(node)
+            if label is not None:
+                yield node, label
+
+
+def check_unmanaged_file(model: ModuleModel) -> Iterator[Finding]:
+    """RES001: file handle with no owner."""
+
+    def matcher(call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "open(...)"
+        if isinstance(func, ast.Attribute) and func.attr == "open":
+            resolved = model.resolve(func)
+            if resolved in _FILE_FACTORIES:
+                return f"{resolved}(...)"
+            return f"{func.attr}(...) handle"  # Path.open and friends
+        resolved = model.resolve(func)
+        if resolved in _FILE_FACTORIES or (
+            resolved is not None and resolved.rsplit(".", 1)[-1] in _FILE_FACTORIES
+        ):
+            return f"{resolved}(...)"
+        return None
+
+    for call, label in _matching_calls(model, matcher):
+        if not _is_managed(model, call):
+            yield Finding(
+                model.path, call.lineno, call.col_offset, "RES001",
+                f"{label} is neither context-managed nor closed in this "
+                "scope: segment and spill handles must be owned (with-block, "
+                "ExitStack, or an explicit close on every path)",
+            )
+
+
+def check_unmanaged_runtime(model: ModuleModel) -> Iterator[Finding]:
+    """RES002: runtime / executor construction with no owner."""
+
+    def matcher(call: ast.Call) -> str | None:
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name in _RUNTIME_FACTORIES:
+            return name
+        return None
+
+    for call, label in _matching_calls(model, matcher):
+        if not _is_managed(model, call):
+            yield Finding(
+                model.path, call.lineno, call.col_offset, "RES002",
+                f"{label}(...) is neither run as a context manager nor "
+                "closed in this scope: unclosed runtimes strand worker "
+                "pools and spill directories (use `with`, ExitStack, or "
+                "close() on every path)",
+            )
+
+
+def _register() -> None:
+    register_rule(RuleSpec(
+        code="RES001", name="unmanaged-file", category="resources",
+        summary="file/segment handle is never closed or context-managed",
+        check=check_unmanaged_file,
+    ))
+    register_rule(RuleSpec(
+        code="RES002", name="unmanaged-runtime", category="resources",
+        summary="runtime/executor constructed outside with/close ownership",
+        check=check_unmanaged_runtime,
+    ))
+
+
+_register()

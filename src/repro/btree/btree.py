@@ -10,7 +10,7 @@ and bulk loading from sorted pairs.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left
 from collections.abc import Iterator
 
 from .node import BTreeNode, InternalNode, LeafNode

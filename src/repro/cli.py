@@ -77,7 +77,10 @@ ALL_ORDER = (
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Reproduction of 'Efficient Processing of kNN Joins using MapReduce' (VLDB 2012)",
+        description=(
+            "Reproduction of 'Efficient Processing of kNN Joins using "
+            "MapReduce' (VLDB 2012)"
+        ),
     )
     parser.add_argument(
         "--list-algorithms",
@@ -113,7 +116,9 @@ def _build_parser() -> argparse.ArgumentParser:
     join.add_argument("--k", type=int, default=10)
     join.add_argument("--num-reducers", type=int, default=DEFAULTS["num_reducers"])
     join.add_argument("--num-pivots", type=int, default=DEFAULTS["num_pivots"])
-    join.add_argument("--pivot-selection", choices=["random", "farthest", "kmeans"], default="random")
+    join.add_argument(
+        "--pivot-selection", choices=["random", "farthest", "kmeans"], default="random"
+    )
     join.add_argument("--grouping", choices=["geometric", "greedy"], default="geometric")
     join.add_argument("--seed", type=int, default=0)
     join.add_argument(
@@ -303,7 +308,10 @@ def _cmd_join(args: argparse.Namespace) -> int:
     print(f"|R| = |S|            : {len(data)} ({data.name})")
     print(f"k                    : {args.k}")
     print(f"join output pairs    : {outcome.result.total_pairs()}")
-    print(f"simulated seconds    : {outcome.simulated_seconds(cluster):.3f} on {cluster.num_nodes} nodes")
+    print(
+        f"simulated seconds    : {outcome.simulated_seconds(cluster):.3f} "
+        f"on {cluster.num_nodes} nodes"
+    )
     print(f"computation selectivity: {outcome.selectivity() * 1000:.3f} per thousand")
     print(f"shuffling cost       : {outcome.shuffle_bytes() / 1e6:.3f} MB "
           f"({outcome.shuffle_records()} records)")

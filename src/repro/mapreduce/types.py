@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field, fields
+from typing import Any
 
 import numpy as np
 
@@ -64,7 +65,7 @@ class ObjectRecord:
         """On-the-wire size: tag + id + coords + pid + dist + payload."""
         return 1 + 8 + int(self.point.nbytes) + 8 + 8 + self.payload
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type[ObjectRecord], tuple[object, ...]]:
         # positional form: smaller and faster than the default __dict__
         # pickling — records dominate the traffic the processes engine
         # moves between scheduler and workers.  Args derive from the field
@@ -101,7 +102,7 @@ class RecordBlock:
     def __len__(self) -> int:
         return int(self.object_ids.shape[0])
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type[RecordBlock], tuple[object, ...]]:
         # positional form, same motivation as ObjectRecord.__reduce__
         return (
             type(self),
@@ -228,7 +229,7 @@ class InputSplit:
     """
 
     split_id: int
-    records: list = field(default_factory=list)  # sized iterable of (key, value)
+    records: list[Any] = field(default_factory=list)  # sized iterable of (key, value)
     location: int = 0  # node hosting the primary replica (locality hint)
     logical_records: int | None = None  # cached record-weighted size
 

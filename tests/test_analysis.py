@@ -1,0 +1,462 @@
+"""Tests for ``repro-lint`` (:mod:`repro.analysis`).
+
+Each rule gets a positive fixture, a suppression fixture and at least one
+false-positive guard built from the repository's sanctioned idioms.  The
+integration tests at the bottom assert the shipped tree is clean and that
+a seeded violation fails the CLI with its code and location — the CI
+contract.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_source, get_rule
+from repro.analysis.cli import main
+from repro.analysis.engine import PARSE_ERROR_CODE, select_rules
+from repro.analysis.registry import available_rules, resolve_codes
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes(source: str) -> list[str]:
+    return [f.code for f in analyze_source(textwrap.dedent(source))]
+
+
+class TestDeterminismRules:
+    def test_det001_unseeded_default_rng_in_mapper(self):
+        src = """
+            import numpy as np
+
+            class M(Mapper):
+                def map(self, ctx, key, value):
+                    rng = np.random.default_rng()
+                    yield key, rng.random()
+        """
+        assert "DET001" in codes(src)
+
+    def test_det001_seeded_rng_passes(self):
+        src = """
+            import numpy as np
+
+            class M(Mapper):
+                def map(self, ctx, key, value):
+                    rng = np.random.default_rng(7)
+                    yield key, rng.random()
+        """
+        assert "DET001" not in codes(src)
+
+    def test_det001_unseeded_rng_outside_task_code_passes(self):
+        src = """
+            import numpy as np
+
+            def build_dataset():
+                return np.random.default_rng().random(8)
+        """
+        assert "DET001" not in codes(src)
+
+    def test_det001_suppressed(self):
+        src = """
+            import numpy as np
+
+            class M(Mapper):
+                def map(self, ctx, key, value):
+                    rng = np.random.default_rng()  # repro-lint: disable=DET001
+                    yield key, rng.random()
+        """
+        assert "DET001" not in codes(src)
+
+    def test_det002_wall_clock_in_reducer(self):
+        src = """
+            import time
+
+            class R(Reducer):
+                def reduce(self, ctx, key, values):
+                    yield key, time.time()
+        """
+        assert "DET002" in codes(src)
+
+    def test_det002_master_side_timing_passes(self):
+        src = """
+            import time
+
+            def run_benchmark(fn):
+                start = time.perf_counter()
+                fn()
+                return time.perf_counter() - start
+        """
+        assert "DET002" not in codes(src)
+
+    def test_det003_set_iteration_in_mapper(self):
+        src = """
+            class M(Mapper):
+                def map(self, ctx, key, value):
+                    for item in {1, 2, 3}:
+                        yield key, item
+        """
+        assert "DET003" in codes(src)
+
+    def test_det003_sorted_set_passes(self):
+        src = """
+            class M(Mapper):
+                def map(self, ctx, key, value):
+                    for item in sorted({1, 2, 3}):
+                        yield key, item
+        """
+        assert "DET003" not in codes(src)
+
+    def test_det003_dict_iteration_passes(self):
+        # CPython dicts are insertion-ordered and the runtime guarantees
+        # deterministic arrival order, so dict iteration is sanctioned.
+        src = """
+            class R(Reducer):
+                def reduce(self, ctx, key, values):
+                    best = {}
+                    for value in values:
+                        best[value] = key
+                    for item in best:
+                        yield key, item
+        """
+        assert "DET003" not in codes(src)
+
+    def test_det004_builtin_hash_in_partitioner(self):
+        src = """
+            class P(Partitioner):
+                def partition(self, key, num_reducers):
+                    return hash(key) % num_reducers
+        """
+        assert "DET004" in codes(src)
+
+    def test_det004_id_outside_task_code_passes(self):
+        src = """
+            def dedupe(nodes):
+                return {id(node): node for node in nodes}
+        """
+        assert "DET004" not in codes(src)
+
+
+class TestDistributionRules:
+    def test_pkl001_lambda_factory(self):
+        src = """
+            job = MapReduceJob("wordcount", lambda: M())
+        """
+        assert "PKL001" in codes(src)
+
+    def test_pkl001_module_level_class_passes(self):
+        src = """
+            class M(Mapper):
+                def map(self, ctx, key, value):
+                    yield key, value
+
+            job = MapReduceJob("wordcount", M)
+        """
+        assert "PKL001" not in codes(src)
+
+    def test_pkl001_nested_definition_factory(self):
+        src = """
+            def build_job():
+                def make_mapper():
+                    return M()
+                return MapReduceJob("wordcount", make_mapper)
+        """
+        assert "PKL001" in codes(src)
+
+    def test_pkl001_lambda_in_cache(self):
+        src = """
+            job = MapReduceJob("j", M, cache={"fn": lambda x: x})
+        """
+        assert "PKL001" in codes(src)
+
+    def test_pkl002_nested_mapper_class(self):
+        src = """
+            def build():
+                class M(Mapper):
+                    def map(self, ctx, key, value):
+                        yield key, value
+                return M
+        """
+        assert "PKL002" in codes(src)
+
+    def test_pkl002_module_level_passes(self):
+        src = """
+            class M(Mapper):
+                def map(self, ctx, key, value):
+                    yield key, value
+        """
+        assert "PKL002" not in codes(src)
+
+    def test_pkl003_mutable_class_default(self):
+        src = """
+            class M(Mapper):
+                seen = []
+
+                def map(self, ctx, key, value):
+                    self.seen.append(key)
+                    yield key, value
+        """
+        assert "PKL003" in codes(src)
+
+    def test_pkl003_immutable_default_passes(self):
+        src = """
+            class M(Mapper):
+                block_size = 512
+
+                def map(self, ctx, key, value):
+                    yield key, value
+        """
+        assert "PKL003" not in codes(src)
+
+    def test_pkl003_non_task_class_passes(self):
+        src = """
+            class Registry:
+                entries = {}
+        """
+        assert "PKL003" not in codes(src)
+
+
+class TestResourceRules:
+    def test_res001_unclosed_open(self):
+        src = """
+            def read_segment(path):
+                handle = open(path, "rb")
+                return handle.read()
+        """
+        assert "RES001" in codes(src)
+
+    def test_res001_with_block_passes(self):
+        src = """
+            def read_segment(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+        """
+        assert "RES001" not in codes(src)
+
+    def test_res001_exit_stack_passes(self):
+        src = """
+            def open_all(stack, paths):
+                return [stack.enter_context(open(p, "rb")) for p in paths]
+        """
+        assert "RES001" not in codes(src)
+
+    def test_res001_explicit_close_passes(self):
+        src = """
+            def read_segment(path):
+                handle = open(path, "rb")
+                data = handle.read()
+                handle.close()
+                return data
+        """
+        assert "RES001" not in codes(src)
+
+    def test_res002_unclosed_runtime(self):
+        src = """
+            def run(job, splits):
+                result = LocalRuntime().run(job, splits)
+                return result
+        """
+        assert "RES002" in codes(src)
+
+    def test_res002_context_manager_passes(self):
+        src = """
+            def run(job, splits):
+                with LocalRuntime() as runtime:
+                    return runtime.run(job, splits)
+        """
+        assert "RES002" not in codes(src)
+
+    def test_res002_ownership_transfer_passes(self):
+        # joins/base.py make_runtime hands the runtime to the caller.
+        src = """
+            def make_runtime(config):
+                return LocalRuntime(num_reducers=config.num_reducers)
+        """
+        assert "RES002" not in codes(src)
+
+    def test_res002_pooled_attribute_with_close_protocol_passes(self):
+        # the pooled engines' swap-then-shutdown pattern: the class owns
+        # the pool's lifecycle through its own close().
+        src = """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Engine:
+                def __init__(self):
+                    self._pool = ThreadPoolExecutor(max_workers=4)
+
+                def close(self):
+                    pool, self._pool = self._pool, None
+                    pool.shutdown(wait=True)
+        """
+        assert "RES002" not in codes(src)
+
+
+class TestAccountingRule:
+    def test_acc001_set_emission(self):
+        src = """
+            class M(Mapper):
+                def map(self, ctx, key, value):
+                    yield key, {value}
+        """
+        assert "ACC001" in codes(src)
+
+    def test_acc001_sorted_list_passes(self):
+        src = """
+            class M(Mapper):
+                def map(self, ctx, key, value):
+                    yield key, sorted(value)
+        """
+        assert "ACC001" not in codes(src)
+
+
+class TestSuppressions:
+    def test_file_level_suppression(self):
+        src = """
+            # repro-lint: disable-file=DET004
+            class P(Partitioner):
+                def partition(self, key, num_reducers):
+                    return hash(key) % num_reducers
+        """
+        assert "DET004" not in codes(src)
+
+    def test_line_suppression_only_masks_that_code(self):
+        src = """
+            import time
+
+            class R(Reducer):
+                def reduce(self, ctx, key, values):
+                    yield key, time.time()  # repro-lint: disable=DET004
+        """
+        assert "DET002" in codes(src)
+
+    def test_disable_all(self):
+        src = """
+            class M(Mapper):
+                def map(self, ctx, key, value):
+                    yield key, {value}  # repro-lint: disable=all
+        """
+        assert codes(src) == []
+
+
+class TestEngineAndRegistry:
+    def test_syntax_error_becomes_e001(self):
+        findings = analyze_source("def broken(:\n")
+        assert [f.code for f in findings] == [PARSE_ERROR_CODE]
+
+    def test_rule_codes_are_stable(self):
+        assert set(available_rules()) == {
+            "DET001", "DET002", "DET003", "DET004",
+            "PKL001", "PKL002", "PKL003",
+            "RES001", "RES002", "ACC001",
+        }
+
+    def test_get_rule_case_insensitive(self):
+        assert get_rule("det001").code == "DET001"
+
+    def test_get_rule_unknown_lists_available(self):
+        with pytest.raises(ValueError, match="available"):
+            get_rule("NOPE999")
+
+    def test_select_and_ignore(self):
+        active = select_rules(select=["DET001", "RES002"], ignore=["res002"])
+        assert [spec.code for spec in active] == ["DET001"]
+
+    def test_resolve_codes_rejects_typos(self):
+        with pytest.raises(ValueError):
+            resolve_codes("DET001,DET999")
+
+    def test_findings_sorted_and_deduplicated(self):
+        src = """
+            import time
+
+            class R(Reducer):
+                def reduce(self, ctx, key, values):
+                    yield key, time.time()
+                    for item in {1, 2}:
+                        yield key, item
+        """
+        findings = analyze_source(textwrap.dedent(src))
+        assert findings == sorted(findings)
+        assert len(findings) == len(set(findings))
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main([str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_code_and_location(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(
+            "import numpy as np\n"
+            "class M(Mapper):\n"
+            "    def map(self, ctx, key, value):\n"
+            "        yield key, np.random.default_rng().random()\n"
+        )
+        assert main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert f"{target}:4" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(
+            "class P(Partitioner):\n"
+            "    def partition(self, key, n):\n"
+            "        return hash(key) % n\n"
+        )
+        assert main(["--format", "json", str(target)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        assert "DET004" in payload["rules"]
+        assert payload["findings"][0]["code"] == "DET004"
+        assert payload["findings"][0]["line"] == 3
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in available_rules():
+            assert code in out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main(["--select", "ZZZ001", str(target)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.py")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_select_filters_rules(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(
+            "class P(Partitioner):\n"
+            "    def partition(self, key, n):\n"
+            "        return hash(key) % n\n"
+        )
+        assert main(["--select", "RES001", str(target)]) == 0
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_is_clean(self, capsys):
+        assert main([str(REPO_ROOT / "src" / "repro")]) == 0
+
+    def test_benchmarks_and_examples_are_clean(self, capsys):
+        assert main([str(REPO_ROOT / "benchmarks"), str(REPO_ROOT / "examples")]) == 0
+
+    def test_seeded_violation_fails_the_tree(self, tmp_path, capsys):
+        # the acceptance check: dropping one unseeded RNG into a Mapper
+        # must flip the whole run to exit 1 and name the rule and line.
+        bad = tmp_path / "planted.py"
+        bad.write_text(
+            "import numpy as np\n"
+            "class PlantedMapper(Mapper):\n"
+            "    def map(self, ctx, key, value):\n"
+            "        yield key, np.random.default_rng().random()\n"
+        )
+        assert main([str(REPO_ROOT / "src" / "repro"), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "planted.py:4" in out

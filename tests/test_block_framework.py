@@ -1,9 +1,7 @@
 """Unit tests for the sqrt(N) x sqrt(N) block framework."""
 
 import numpy as np
-import pytest
 
-from repro.core import Dataset
 from repro.joins.base import JoinConfig
 from repro.joins.block_framework import (
     BlockRoutingMapper,

@@ -1,7 +1,6 @@
 """Unit tests for the command-line interface."""
 
 import json
-import os
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Unit tests for the replication cost model (Theorem 7, Eq. 11-12)."""
 
 import numpy as np
-import pytest
 
 from repro.core import Dataset, VoronoiPartitioner, get_metric
 from repro.core.bounds import compute_lb_matrix, compute_thetas, group_lb_matrix

@@ -6,7 +6,6 @@ test.  They are executed in-process with a patched ``__name__`` guard.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

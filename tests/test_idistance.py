@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import Dataset, get_metric
+from repro.core import get_metric
 from repro.core.knn import knn_of_point
 from repro.datasets import generate_forest
 from repro.idistance import IDistanceIndex

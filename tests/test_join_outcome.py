@@ -1,6 +1,5 @@
 """Unit tests for JoinOutcome accounting and configuration validation."""
 
-import numpy as np
 import pytest
 
 from repro.core import KnnJoinResult

@@ -3,9 +3,7 @@
 import pytest
 
 from repro.mapreduce import (
-    Context,
     HashPartitioner,
-    InputSplit,
     LocalRuntime,
     Mapper,
     MapReduceJob,
@@ -203,7 +201,9 @@ class TestAccounting:
         from repro.mapreduce import estimate_bytes
 
         result = LocalRuntime().run(word_count_job(), text_splits(LINES))
-        expected = sum(estimate_bytes(w) + estimate_bytes(1) for line in LINES for w in line.split())
+        expected = sum(
+            estimate_bytes(w) + estimate_bytes(1) for line in LINES for w in line.split()
+        )
         assert result.stats.shuffle_bytes == expected
 
     def test_task_stats_present(self):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.metrics import Series, SizeStats, format_series, format_table, size_stats
+from repro.metrics import Series, format_series, format_table, size_stats
 
 
 class TestSizeStats:

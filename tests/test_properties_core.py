@@ -68,7 +68,8 @@ class TestPartitionInvariants:
     @settings(max_examples=40, deadline=None)
     def test_cover_and_nearest(self, points, num_pivots, seed):
         rng = np.random.default_rng(seed)
-        pivots = points[rng.choice(points.shape[0], min(num_pivots, points.shape[0]), replace=False)]
+        chosen = rng.choice(points.shape[0], min(num_pivots, points.shape[0]), replace=False)
+        pivots = points[chosen]
         metric = get_metric("l2")
         partitioner = VoronoiPartitioner(pivots, metric)
         assignment = partitioner.assign(Dataset(points))

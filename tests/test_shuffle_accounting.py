@@ -1,8 +1,5 @@
 """Integration tests for shuffle-cost accounting across the join pipelines."""
 
-import numpy as np
-import pytest
-
 from repro import HBRJ, PGBJ, BlockJoinConfig, PgbjConfig
 from repro.core import Dataset
 from repro.datasets import generate_osm

@@ -1,6 +1,5 @@
 """Tests for reduce-skew accounting and its link to grouping quality."""
 
-import numpy as np
 import pytest
 
 from repro import PGBJ, PgbjConfig
