@@ -1,0 +1,270 @@
+"""Adaptive execution exhibit: auto-tuned knobs, stage fusion, warm cache.
+
+Three scenarios, one committed record (``results/BENCH_autotune.json``):
+
+* **auto-tune vs default knobs** — PGBJ and H-BRJ with every knob at its
+  config default against the cost-model-tuned configs, wall time and
+  shuffle bytes side by side (results asserted identical to the equivalent
+  hand-tuned run — tuning moves knobs, never answers);
+* **fusion on vs off** — the same joins with and without map-stage fusion:
+  identical results and shuffle accounting, fewer staged/mapped records and
+  a wall-time delta;
+* **cold vs warm persistent cache** — a PGBJ k-sweep against one
+  ``plan_cache_dir``, first with an empty directory, then again with fresh
+  cache *objects* over the now-populated directory: the partition stage is
+  served from disk (counted hits), every outcome bit-identical.
+
+No wall-clock gate in CI (boxes are too noisy); ``--smoke`` asserts the
+identical-results contracts at a tiny scale.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_autotune.py           # full record
+    PYTHONPATH=src python benchmarks/bench_autotune.py --smoke   # CI-friendly
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from typing import Any
+
+from repro.bench import ExperimentResult
+from repro.bench.harness import forest_workload, osm_workload
+from repro.joins import get_join, run_join
+from repro.joins.autotune import auto_tune_config
+from repro.mapreduce import PlanCache
+from repro.metrics import format_table
+
+#: joins the tuning and fusion scenarios cover
+TUNED_JOINS = ("pgbj", "hbrj")
+
+#: the warm-cache k sweep
+K_SWEEP = (5, 10, 15)
+
+
+def _outcome_facts(outcome) -> dict[str, Any]:
+    return {
+        "pairs_computed": outcome.distance_pairs,
+        "shuffle_records": outcome.shuffle_records(),
+        "shuffle_bytes": outcome.shuffle_bytes(),
+    }
+
+
+def _timed_run(name, data, config, **extra):
+    started = time.perf_counter()
+    outcome = run_join(name, data, data, config, **extra)
+    return time.perf_counter() - started, outcome
+
+
+def autotune_experiment(seed: int = 0, smoke: bool = False) -> ExperimentResult:
+    """Default-knob vs auto-tuned runs for each covered join."""
+    data = forest_workload(times=1, seed=seed) if smoke else osm_workload(seed=seed)
+    k = 5 if smoke else 10
+    per_join: dict[str, Any] = {}
+    rows = []
+    for name in TUNED_JOINS:
+        spec = get_join(name)
+        default_config = spec.make_config(k=k, seed=seed)
+        choice = auto_tune_config(name, data, data, default_config)
+        default_wall, default_outcome = _timed_run(name, data, default_config)
+        tuned_wall, tuned_outcome = _timed_run(name, data, choice.config)
+        # the tuner's own contract: identical answers to the hand-tuned
+        # config it returned (knobs move, results never do)
+        hand_outcome = run_join(name, data, data, choice.config)
+        assert tuned_outcome.result.same_distances_as(hand_outcome.result), name
+        assert _outcome_facts(tuned_outcome) == _outcome_facts(hand_outcome), name
+        assert tuned_outcome.result.same_distances_as(default_outcome.result), name
+        per_join[name] = {
+            "chosen_knobs": {knob: value for knob, value in choice.chosen},
+            "candidates_priced": choice.considered,
+            "predicted_wall_seconds": choice.estimate.wall_seconds(),
+            "default": {"wall_seconds": default_wall, **_outcome_facts(default_outcome)},
+            "tuned": {"wall_seconds": tuned_wall, **_outcome_facts(tuned_outcome)},
+            "wall_speedup": default_wall / tuned_wall if tuned_wall else 1.0,
+            "shuffle_bytes_saved": (
+                default_outcome.shuffle_bytes() - tuned_outcome.shuffle_bytes()
+            ),
+        }
+        rows.append(
+            [
+                name,
+                round(default_wall, 3),
+                round(tuned_wall, 3),
+                f"{per_join[name]['wall_speedup']:.2f}x",
+                per_join[name]["shuffle_bytes_saved"],
+            ]
+        )
+    text = format_table(
+        ["join", "default s", "auto-tuned s", "speedup", "shuffle bytes saved"],
+        rows,
+        title="Cost-model auto-tuning vs default knobs (identical results)",
+    )
+    return ExperimentResult(
+        exhibit="BENCH_autotune_tuning",
+        title="Auto-tuned vs default-knob joins",
+        text=text,
+        data={"joins": per_join, "k": k, "objects": len(data)},
+        params={"seed": seed, "smoke": smoke},
+    )
+
+
+def fusion_experiment(seed: int = 0, smoke: bool = False) -> ExperimentResult:
+    """Map-stage fusion on vs off: identical accounting, fewer map passes."""
+    data = forest_workload(times=1, seed=seed) if smoke else osm_workload(seed=seed)
+    k = 5 if smoke else 10
+    per_join: dict[str, Any] = {}
+    rows = []
+    for name in TUNED_JOINS:
+        spec = get_join(name)
+        plain_wall, plain = _timed_run(name, data, spec.make_config(k=k, seed=seed))
+        fused_wall, fused = _timed_run(
+            name, data, spec.make_config(k=k, seed=seed, stage_fusion=True)
+        )
+        assert fused.result.same_distances_as(plain.result), name
+        assert _outcome_facts(fused) == _outcome_facts(plain), name
+        fused_map_records = sum(
+            task.input_records for stats in fused.job_stats for task in stats.map_tasks
+        )
+        plain_map_records = sum(
+            task.input_records for stats in plain.job_stats for task in stats.map_tasks
+        )
+        per_join[name] = {
+            "plain": {"wall_seconds": plain_wall, "map_records": plain_map_records},
+            "fused": {"wall_seconds": fused_wall, "map_records": fused_map_records},
+            "map_records_saved": plain_map_records - fused_map_records,
+            "wall_speedup": plain_wall / fused_wall if fused_wall else 1.0,
+            "shuffle_bytes": fused.shuffle_bytes(),  # identical by contract
+        }
+        rows.append(
+            [
+                name,
+                round(plain_wall, 3),
+                round(fused_wall, 3),
+                f"{per_join[name]['wall_speedup']:.2f}x",
+                per_join[name]["map_records_saved"],
+            ]
+        )
+    text = format_table(
+        ["join", "unfused s", "fused s", "speedup", "map records skipped"],
+        rows,
+        title="Map-stage fusion on vs off (identical results and accounting)",
+    )
+    return ExperimentResult(
+        exhibit="BENCH_autotune_fusion",
+        title="Plan-level map-stage fusion",
+        text=text,
+        data={"joins": per_join, "k": k, "objects": len(data)},
+        params={"seed": seed, "smoke": smoke},
+    )
+
+
+def warm_cache_experiment(seed: int = 0, smoke: bool = False) -> ExperimentResult:
+    """Cold vs warm persistent plan cache across a PGBJ k sweep."""
+    data = forest_workload(times=1, seed=seed) if smoke else osm_workload(seed=seed)
+    sweep = K_SWEEP[:2] if smoke else K_SWEEP
+    spec = get_join("pgbj")
+
+    with tempfile.TemporaryDirectory(prefix="repro-plan-cache-") as cache_dir:
+
+        def sweep_run(label: str) -> tuple[float, dict[int, Any], PlanCache]:
+            # a fresh cache object per pass: only the *directory* persists,
+            # exactly the cross-process story
+            cache = PlanCache(directory=cache_dir)
+            outcomes: dict[int, Any] = {}
+            started = time.perf_counter()
+            for k in sweep:
+                config = spec.make_config(k=k, seed=seed, plan_cache=cache)
+                outcomes[k] = run_join("pgbj", data, data, config)
+            return time.perf_counter() - started, outcomes, cache
+
+        cold_wall, cold, cold_cache = sweep_run("cold")
+        warm_wall, warm, warm_cache = sweep_run("warm")
+        disk_entries = cold_cache.disk_entries()
+
+    for k in sweep:
+        assert warm[k].result.same_distances_as(cold[k].result), k
+        assert _outcome_facts(warm[k]) == _outcome_facts(cold[k]), k
+    assert warm_cache.disk_hits >= 1, "warm sweep must be served from disk"
+
+    raw = {
+        "k_sweep": list(sweep),
+        "cold_wall_seconds": cold_wall,
+        "warm_wall_seconds": warm_wall,
+        "warm_speedup": cold_wall / warm_wall if warm_wall else 1.0,
+        "cold_cache": cold_cache.stats(),
+        "warm_cache": warm_cache.stats(),
+        "disk_entries": disk_entries,
+        "per_k": {k: _outcome_facts(cold[k]) for k in sweep},
+    }
+    text = format_table(
+        ["pass", "wall seconds", "disk hits", "speedup"],
+        [
+            ["cold (empty dir)", round(cold_wall, 3), cold_cache.disk_hits, "-"],
+            [
+                "warm (populated dir)",
+                round(warm_wall, 3),
+                warm_cache.disk_hits,
+                f"{raw['warm_speedup']:.2f}x",
+            ],
+        ],
+        title="Persistent plan cache: cold vs warm k-sweep (identical results)",
+    )
+    return ExperimentResult(
+        exhibit="BENCH_autotune_cache",
+        title="Cold vs warm persistent plan cache",
+        text=text,
+        data=raw,
+        params={"seed": seed, "smoke": smoke},
+    )
+
+
+def autotune_record(seed: int = 0) -> ExperimentResult:
+    """The combined committed record."""
+    tuning = autotune_experiment(seed=seed)
+    fusion = fusion_experiment(seed=seed)
+    cache = warm_cache_experiment(seed=seed)
+    return ExperimentResult(
+        exhibit="BENCH_autotune",
+        title="Cost-based adaptive execution: tuning, fusion, persistent cache",
+        text=tuning.text + "\n\n" + fusion.text + "\n\n" + cache.text,
+        data={"tuning": tuning.data, "fusion": fusion.data, "cache": cache.data},
+        params={"tuning": tuning.params, "fusion": fusion.params, "cache": cache.params},
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny runs asserting the identical-results contracts",
+    )
+    parser.add_argument("--results-dir", default="results")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        tuning = autotune_experiment(smoke=True)
+        fusion = fusion_experiment(smoke=True)
+        cache = warm_cache_experiment(smoke=True)
+        for name, record in (("tuning", tuning), ("fusion", fusion), ("cache", cache)):
+            print(f"autotune {name} ok: identical results")
+        print(
+            "warm cache: "
+            f"{cache.data['warm_cache']['disk_hits']} disk hits over "
+            f"{cache.data['disk_entries']} entries, "
+            f"{cache.data['warm_speedup']:.2f}x"
+        )
+        return 0
+
+    record = autotune_record()
+    path = record.save(args.results_dir)
+    print(record.show())
+    print(f"saved {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

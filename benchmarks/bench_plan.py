@@ -30,11 +30,10 @@ Run standalone::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Any
-
-import os
 
 from repro.bench import ExperimentResult, bench_workers
 from repro.bench.harness import (
@@ -257,6 +256,15 @@ def main(argv: list[str] | None = None) -> int:
         help="tiny sweep asserting the reuse/concurrency identical-results contracts",
     )
     parser.add_argument("--results-dir", default="results")
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help=(
+            "record the full exhibit even on a single-CPU box (the "
+            "concurrency speedup ratio is meaningless without cores to "
+            "overlap stages on)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -273,6 +281,17 @@ def main(argv: list[str] | None = None) -> int:
             + f", {concurrency.data['concurrency_speedup']:.2f}x"
         )
         return 0
+
+    if (os.cpu_count() or 1) < 2 and not args.force:
+        # refuse to stamp a concurrency ratio measured without concurrency:
+        # the committed BENCH_plan.json ratio must come from a multi-core box
+        print(
+            "refusing to record BENCH_plan on a single-CPU box: the "
+            "concurrency speedup ratio needs cores to overlap stages on.  "
+            "Re-run on a multi-core machine, or pass --force to record "
+            "anyway (the ratio will be stamped with cpu_count for context)."
+        )
+        return 2
 
     record = plan_experiment()
     path = record.save(args.results_dir)

@@ -156,6 +156,31 @@ def bench_spill_codec() -> str:
     return codec
 
 
+def bench_auto_tune() -> bool:
+    """Cost-model auto-tuning for bench runs (``REPRO_AUTO_TUNE``, off).
+
+    When armed, every bench join runs through the tuner first — knobs the
+    experiment left at their config defaults are picked by the cost model.
+    Results are bit-identical to the equivalent hand-tuned configs (the CI
+    ``autotune`` leg runs the equivalence suites this way).
+    """
+    return os.environ.get("REPRO_AUTO_TUNE", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+def bench_stage_fusion() -> bool:
+    """Map-stage fusion for bench runs (``REPRO_STAGE_FUSION``, off)."""
+    return os.environ.get("REPRO_STAGE_FUSION", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+def bench_plan_cache_dir() -> str | None:
+    """Persistent plan-cache directory (``REPRO_PLAN_CACHE_DIR``, off)."""
+    return os.environ.get("REPRO_PLAN_CACHE_DIR") or None
+
+
 def bench_chaos():
     """Chaos plan for bench runs (``REPRO_CHAOS``, default off).
 
@@ -223,6 +248,13 @@ def _engine_params() -> dict[str, Any]:
     chaos = bench_chaos()
     if chaos is not None:
         params["chaos"] = chaos
+    if bench_auto_tune():
+        params["auto_tune"] = True
+    if bench_stage_fusion():
+        params["stage_fusion"] = True
+    cache_dir = bench_plan_cache_dir()
+    if cache_dir is not None:
+        params["plan_cache_dir"] = cache_dir
     return params
 
 

@@ -74,6 +74,11 @@ ALL_ORDER = (
 )
 
 
+def _env_flag(name: str) -> bool:
+    """A REPRO_* on/off env default for a CLI switch."""
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes", "on")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -222,6 +227,58 @@ def _build_parser() -> argparse.ArgumentParser:
             "join after a crash resumes from the last completed stage"
         ),
     )
+    join.add_argument(
+        "--explain",
+        action="store_true",
+        help=(
+            "print the plan-time cost estimate (per-stage records, shuffle "
+            "bytes, distance pairs, predicted seconds) and exit without "
+            "running the join"
+        ),
+    )
+    join.add_argument(
+        "--calibrate",
+        action="store_true",
+        help=(
+            "price --explain / --auto-tune with on-box measured primitive "
+            "rates (sub-second microbench, cached to disk) instead of the "
+            "deterministic built-in rates"
+        ),
+    )
+    join.add_argument(
+        "--auto-tune",
+        action="store_true",
+        default=_env_flag("REPRO_AUTO_TUNE"),
+        help=(
+            "let the cost model pick knobs left at their defaults "
+            "(pivots, reducers, engine, fusion, skew splitting) for this "
+            "dataset; explicitly set knobs are never overridden and results "
+            "are bit-identical to the equivalent hand-tuned run.  Default "
+            "from REPRO_AUTO_TUNE"
+        ),
+    )
+    join.add_argument(
+        "--fuse-stages",
+        action="store_true",
+        default=_env_flag("REPRO_STAGE_FUSION"),
+        help=(
+            "fuse map-only plan stages into their consumers (identity merge "
+            "mappers skip their map pass; chained intermediates skip the "
+            "DFS round-trip).  Results, counters and shuffle accounting are "
+            "bit-identical.  Default from REPRO_STAGE_FUSION"
+        ),
+    )
+    join.add_argument(
+        "--plan-cache-dir",
+        default=os.environ.get("REPRO_PLAN_CACHE_DIR"),
+        metavar="DIR",
+        help=(
+            "persistent plan cache: content-keyed stage results are stored "
+            "here in the segment wire format and reused across processes "
+            "(atomic writes; corrupt files degrade to a miss).  Default "
+            "from REPRO_PLAN_CACHE_DIR"
+        ),
+    )
 
     bench = sub.add_parser("bench", help="reproduce one exhibit (or `all`)")
     bench.add_argument("exhibit", choices=list(EXHIBITS) + ["all"])
@@ -279,7 +336,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         else None
     )
     # the spec filters this union of knobs down to what its config accepts
-    config = spec.make_config(
+    knobs = dict(
         k=args.k,
         num_reducers=args.num_reducers,
         seed=args.seed,
@@ -296,7 +353,39 @@ def _cmd_join(args: argparse.Namespace) -> int:
         chaos=chaos,
         task_timeout=args.task_timeout,
         checkpoint_dir=args.checkpoint_dir,
+        auto_tune=args.auto_tune,
+        stage_fusion=args.fuse_stages,
+        plan_cache_dir=args.plan_cache_dir,
     )
+    if args.auto_tune:
+        # the tuner only moves knobs still at their *config* defaults; drop
+        # the flags the user left at the CLI defaults so they stay tunable
+        for knob in ("num_reducers", "num_pivots"):
+            if getattr(args, knob) == DEFAULTS[knob]:
+                knobs.pop(knob)
+    config = spec.make_config(**knobs)
+    if args.explain:
+        from repro.joins.autotune import auto_tune_config, explain_join
+
+        if args.auto_tune:
+            choice = auto_tune_config(
+                spec.name, data, data, config, calibrated=args.calibrate
+            )
+            print(choice.describe())
+            print(choice.estimate.explain())
+        else:
+            print(explain_join(
+                spec.name, data, data, config, calibrated=args.calibrate
+            ).explain())
+        return 0
+    if args.auto_tune:
+        from repro.joins.autotune import auto_tune_config
+
+        choice = auto_tune_config(
+            spec.name, data, data, config, calibrated=args.calibrate
+        )
+        print(choice.describe())
+        config = choice.config
     outcome = run_join(spec.name, data, data, config)
     cluster = default_cluster(args.num_reducers)
     print(f"algorithm            : {outcome.algorithm}")

@@ -114,6 +114,25 @@ class JoinConfig:
     before a straggling attempt gets a speculative duplicate, and
     ``checkpoint_dir`` turns on stage-level checkpoint/resume in the plan
     scheduler (killed runs resume from their last finished stage).
+
+    ``auto_tune`` lets the registry pick ``num_pivots``/``num_reducers``/
+    engine/kernel-provider for the dataset at hand from the plan-time cost
+    model (:mod:`repro.joins.autotune`) before the plan is built.  The tuned
+    run is bit-identical to a hand-written config carrying the same chosen
+    knobs — tuning moves knobs, never semantics.
+
+    ``stage_fusion`` turns on plan-level map fusion: identity-map stages
+    (the candidate-merge jobs) execute *premapped* — the producer's output
+    pairs feed the consumer's shuffle directly — and ``chain_splits`` skips
+    the modelled-DFS round trip for chained intermediates.  Results,
+    counters and shuffle accounting are bit-identical to unfused runs (CI
+    asserts it); only wall clock and intermediate I/O move.
+
+    ``plan_cache_dir`` makes plan caching *persistent*: content-keyed stage
+    results are serialized in the segment wire format under the directory
+    (atomic writes, corruption-safe loads) and reused across processes —
+    k-sweeps, bench reruns and service restarts skip the partitioning work.
+    An injected ``plan_cache`` takes precedence when both are set.
     """
 
     k: int = 10
@@ -130,6 +149,9 @@ class JoinConfig:
     plan_concurrency: bool = True
     task_timeout: float | None = None
     checkpoint_dir: str | None = None
+    auto_tune: bool = False
+    stage_fusion: bool = False
+    plan_cache_dir: str | None = None
     chaos: ChaosPlan | None = field(default=None, compare=False, repr=False)
     shared_executor: Executor | None = field(default=None, compare=False, repr=False)
     plan_cache: PlanCache | None = field(default=None, compare=False, repr=False)
@@ -274,11 +296,25 @@ class PgbjConfig(JoinConfig):
     #: disable individual pruning rules (ablation benches)
     use_hyperplane_pruning: bool = True
     use_ring_pruning: bool = True
+    #: skew-aware repartitioning: when one reducer group's share of the
+    #: R records exceeds this fraction (e.g. 0.5), its work is split across
+    #: extra reduce keys — R rows deterministically by object id, the
+    #: admitted S candidates replicated to every sub-key.  Join results and
+    #: ``pairs_computed`` are bit-identical (each r still meets exactly the
+    #: same candidates); only replication/shuffle grow for the split group.
+    #: ``0.0`` disables splitting.
+    skew_split_threshold: float = 0.0
+    #: upper bound on how many ways one skewed group is split
+    skew_split_max_ways: int = 4
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.num_pivots < 1:
             raise ValueError("num_pivots must be >= 1")
+        if not 0.0 <= self.skew_split_threshold <= 1.0:
+            raise ValueError("skew_split_threshold must be in [0, 1]")
+        if self.skew_split_max_ways < 1:
+            raise ValueError("skew_split_max_ways must be >= 1")
 
 
 @dataclass

@@ -15,6 +15,7 @@ import numpy as np
 from repro.mapreduce.hdfs import DistributedFileSystem
 from repro.mapreduce.job import BlockBufferingMapper, Context, Mapper, MapReduceJob, Reducer
 from repro.mapreduce.partitioners import HashPartitioner, ModPartitioner
+from repro.mapreduce.plan import FusedOutput
 from repro.mapreduce.runtime import JobResult, LocalRuntime
 from repro.mapreduce.splits import split_records
 from repro.mapreduce.types import RecordBlock
@@ -29,6 +30,7 @@ __all__ = [
     "CandidateMergeMapper",
     "CandidateMergeReducer",
     "chain_splits",
+    "fused_or_chained",
     "merge_job_spec",
     "run_merge_job",
 ]
@@ -134,11 +136,31 @@ def chain_splits(
     one, the records are sliced in place, the historical path.  Chunk
     boundaries are identical either way, so task layout and all accounting
     are unaffected by where the intermediate lives.
+
+    ``config.stage_fusion`` short-circuits the DFS round trip: the records
+    are sliced in place even when a DFS was handed in, skipping a full
+    write+read of the intermediate (for out-of-core configs, a disk round
+    trip).  Because both paths use the same record-weighted chunker, split
+    boundaries — and therefore results, counters and shuffle accounting —
+    are bit-identical; the intermediate simply stays in RAM.
     """
-    if dfs is None:
+    if dfs is None or config.stage_fusion:
         return split_records(records, config.split_size)
     dfs.put(name, records)
     return dfs.splits(name)
+
+
+def fused_or_chained(config: JoinConfig, dfs, name: str, ctx, upstream):
+    """Splits value for a stage whose mapper only re-keys nothing: either a
+    :class:`~repro.mapreduce.plan.FusedOutput` marker (``stage_fusion`` on —
+    the upstream stage's pairs feed the shuffle directly, the identity map
+    phase and any DFS round trip are skipped) or the historical
+    :func:`chain_splits` over the upstream outputs.  Bit-identical either
+    way: reduce input order is the producer's global emission order in both.
+    """
+    if config.stage_fusion:
+        return FusedOutput(upstream)
+    return chain_splits(config, dfs, name, ctx.result_of(upstream).outputs)
 
 
 def merge_job_spec(config: JoinConfig) -> MapReduceJob:

@@ -31,7 +31,7 @@ from repro.mapreduce.partitioners import ModPartitioner
 from repro.mapreduce.plan import JobGraph
 
 from .base import PAIRS_GROUP, PAIRS_NAME, BlockJoinConfig
-from .block_framework import block_join_spec, chain_splits
+from .block_framework import block_join_spec, chain_splits, fused_or_chained
 from .kernel_providers import get_kernel_provider
 from .kernels import (
     ScratchPool,
@@ -162,7 +162,6 @@ def plan_closest_pairs(
     block = graph.stage("closest-pairs/block", build_block, deps=(partition,))
 
     def build_merge(ctx):
-        job2 = ctx.result_of(block)
         job3 = MapReduceJob(
             name="closest-pairs-merge",
             mapper_factory=PairMergeMapper,
@@ -171,7 +170,9 @@ def plan_closest_pairs(
             num_reducers=1,
             cache={"k": config.k},
         )
-        return job3, chain_splits(config, dfs, "block-pairs", job2.outputs)
+        # the block reducer already keys every pair 0, so PairMergeMapper is
+        # the identity over this producer's outputs: premapped fusion applies
+        return job3, fused_or_chained(config, dfs, "block-pairs", ctx, block)
 
     merge = graph.stage("closest-pairs/merge", build_merge, deps=(block,))
 

@@ -32,7 +32,7 @@ from .base import (
     KnnJoinAlgorithm,
     StageStats,
 )
-from .block_framework import block_join_spec, chain_splits, merge_job_spec
+from .block_framework import block_join_spec, fused_or_chained, merge_job_spec
 from .registry import JoinPlan, JoinSpec, register_join, run_join
 
 __all__ = ["HBRJ", "plan_hbrj"]
@@ -88,9 +88,8 @@ def plan_hbrj(r: Dataset, s: Dataset, config: BlockJoinConfig) -> JoinPlan:
     block_join = graph.stage("hbrj/block-join", build_block_join)
 
     def build_merge(ctx):
-        job1 = ctx.result_of(block_join)
-        return merge_job_spec(config), chain_splits(
-            config, dfs, "merge-input", job1.outputs
+        return merge_job_spec(config), fused_or_chained(
+            config, dfs, "merge-input", ctx, block_join
         )
 
     merge = graph.stage("hbrj/merge", build_merge, deps=(block_join,))

@@ -35,7 +35,7 @@ from .base import (
     KnnJoinAlgorithm,
     StageStats,
 )
-from .block_framework import block_join_spec, chain_splits, merge_job_spec
+from .block_framework import block_join_spec, fused_or_chained, merge_job_spec
 from .kernel_providers import get_kernel_provider
 from .registry import JoinPlan, JoinSpec, register_join, run_join
 
@@ -107,9 +107,8 @@ def plan_ijoin(r: Dataset, s: Dataset, config: BlockJoinConfig) -> JoinPlan:
     block_join = graph.stage("ijoin/block-join", build_block_join)
 
     def build_merge(ctx):
-        job1 = ctx.result_of(block_join)
-        return merge_job_spec(config), chain_splits(
-            config, dfs, "merge-input", job1.outputs
+        return merge_job_spec(config), fused_or_chained(
+            config, dfs, "merge-input", ctx, block_join
         )
 
     merge = graph.stage("ijoin/merge", build_merge, deps=(block_join,))

@@ -36,7 +36,7 @@ from .base import (
     KnnJoinAlgorithm,
     StageStats,
 )
-from .block_framework import block_join_spec, chain_splits, merge_job_spec
+from .block_framework import block_join_spec, chain_splits, fused_or_chained, merge_job_spec
 from .kernel_providers import get_kernel_provider
 from .kernels import (
     ScratchPool,
@@ -119,9 +119,8 @@ def plan_pbj(r: Dataset, s: Dataset, config: BlockJoinConfig) -> JoinPlan:
     block_join = graph.stage("pbj/block-join", build_block_join, deps=(partition,))
 
     def build_merge(ctx):
-        job2 = ctx.result_of(block_join)
-        return merge_job_spec(config), chain_splits(
-            config, dfs, "merge-input", job2.outputs
+        return merge_job_spec(config), fused_or_chained(
+            config, dfs, "merge-input", ctx, block_join
         )
 
     merge = graph.stage("pbj/merge", build_merge, deps=(block_join,))

@@ -43,6 +43,7 @@ from .base import (
     PgbjConfig,
     StageStats,
 )
+from .block_framework import chain_splits
 from .kernel_providers import get_kernel_provider
 from .kernels import ScratchPool, build_partition_blocks
 from .partition_job import make_pivot_selector, merge_summaries, partition_stage
@@ -63,11 +64,20 @@ class GroupRoutingMapper(Mapper):
     over the whole block at once: one ``>= LB`` mask per (cell, group) pair
     instead of one ``np.flatnonzero`` per S object.  Per-object records are
     still accepted (wrapped into a one-row block) for compatibility.
+
+    Skew-aware repartitioning (``skew_subkeys`` in the job cache, built by
+    the planner when one group's R load dominates): a split group's R rows
+    are spread deterministically over its sub-keys by object id, while its
+    admitted S candidates replicate to *every* sub-key — each r therefore
+    still meets exactly the candidate set it would have met unsplit, so join
+    results and ``pairs_computed`` are bit-identical; only replication (the
+    knob's documented price) and the reduce-task layout change.
     """
 
     def setup(self, ctx: Context) -> None:
         self._partition_to_group: dict[int, int] = ctx.cache["partition_to_group"]
         self._lb_group: np.ndarray = ctx.cache["lb_group"]
+        self._subkeys: dict[int, tuple[int, ...]] = ctx.cache.get("skew_subkeys") or {}
 
     def map(self, key, value, ctx: Context):
         block = value if isinstance(value, RecordBlock) else RecordBlock.gather([value])
@@ -75,7 +85,15 @@ class GroupRoutingMapper(Mapper):
         if r_rows.size:
             r_block = block.take(r_rows)
             for pid, sub in r_block.split_by(r_block.partition_ids):
-                yield self._partition_to_group[pid], sub
+                group_index = self._partition_to_group[pid]
+                subkeys = self._subkeys.get(group_index)
+                if subkeys is None:
+                    yield group_index, sub
+                else:
+                    for lane, lane_block in sub.split_by(
+                        sub.object_ids % len(subkeys)
+                    ):
+                        yield subkeys[int(lane)], lane_block
         s_rows = np.flatnonzero(~block.is_r)
         if s_rows.size:
             s_block = block.take(s_rows)
@@ -85,11 +103,18 @@ class GroupRoutingMapper(Mapper):
                     cell.pivot_distances[:, None]
                     >= self._lb_group[pid][None, :] - PRUNE_EPS
                 )
-                ctx.counters.incr(REPLICA_GROUP, REPLICA_NAME, int(admitted.sum()))
                 for group_index in range(admitted.shape[1]):
                     selected = np.flatnonzero(admitted[:, group_index])
-                    if selected.size:
-                        yield int(group_index), cell.take(selected)
+                    if not selected.size:
+                        continue
+                    chosen = cell.take(selected)
+                    for subkey in self._subkeys.get(
+                        group_index, (int(group_index),)
+                    ):
+                        ctx.counters.incr(
+                            REPLICA_GROUP, REPLICA_NAME, int(selected.size)
+                        )
+                        yield int(subkey), chosen
 
 
 class PgbjJoinReducer(Reducer):
@@ -133,6 +158,40 @@ class PgbjJoinReducer(Reducer):
         return ()
 
 
+def plan_skew_split(
+    tr, partition_to_group: dict[int, int], config: PgbjConfig
+) -> tuple[dict[int, tuple[int, ...]], int]:
+    """Decide the skew-aware repartitioning for the join job.
+
+    Reads the *sampled* load picture the partition summaries already give us:
+    per-group R record counts under the grouping assignment.  When the
+    heaviest group's share of R exceeds ``config.skew_split_threshold``, that
+    one group is split ``ways`` ways — proportional to how far it overshoots
+    the mean group load, capped by ``skew_split_max_ways`` — onto fresh
+    reduce keys appended past ``num_reducers`` (so :class:`ModPartitioner`
+    maps every sub-key to its own reducer and no existing group moves).
+
+    Returns ``(skew_subkeys, num_join_reducers)``; the mapping is empty and
+    the reducer count unchanged when splitting is disabled or not warranted.
+    """
+    if config.skew_split_threshold <= 0.0 or config.num_reducers < 1:
+        return {}, config.num_reducers
+    loads = np.zeros(config.num_reducers, dtype=np.int64)
+    for pid in tr.partition_ids():
+        loads[partition_to_group[pid]] += tr.get(pid).count
+    total = int(loads.sum())
+    if total == 0:
+        return {}, config.num_reducers
+    heavy = int(np.argmax(loads))
+    if loads[heavy] / total <= config.skew_split_threshold:
+        return {}, config.num_reducers
+    mean_load = total / config.num_reducers
+    ways = int(min(config.skew_split_max_ways, max(2, np.ceil(loads[heavy] / mean_load))))
+    extra = ways - 1
+    subkeys = (heavy, *range(config.num_reducers, config.num_reducers + extra))
+    return {heavy: subkeys}, config.num_reducers + extra
+
+
 def plan_pgbj(r: Dataset, s: Dataset, config: PgbjConfig) -> JoinPlan:
     """Plan the paper's algorithm (Sections 4-5) as a two-stage graph."""
     KnnJoinAlgorithm._check_inputs(r, s, config.k)
@@ -158,7 +217,9 @@ def plan_pgbj(r: Dataset, s: Dataset, config: PgbjConfig) -> JoinPlan:
             strategy = get_grouping_strategy(config.grouping)
             assignment = strategy.group(tr, ts, pdm, lb_matrix, config.num_reducers)
             lb_group = group_lb_matrix(lb_matrix, assignment.groups)
-        dfs.put("partitioned", job1.outputs)
+            skew_subkeys, num_join_reducers = plan_skew_split(
+                tr, assignment.partition_to_group, config
+            )
         ring_stats = {
             pid: (ts.get(pid).lower, ts.get(pid).upper) for pid in ts.partition_ids()
         }
@@ -167,10 +228,11 @@ def plan_pgbj(r: Dataset, s: Dataset, config: PgbjConfig) -> JoinPlan:
             mapper_factory=GroupRoutingMapper,
             reducer_factory=PgbjJoinReducer,
             partitioner=ModPartitioner(),
-            num_reducers=config.num_reducers,
+            num_reducers=num_join_reducers,
             cache={
                 "partition_to_group": assignment.partition_to_group,
                 "lb_group": lb_group,
+                "skew_subkeys": skew_subkeys,
                 "metric_name": config.metric_name,
                 "k": config.k,
                 "thetas": thetas,
@@ -182,7 +244,7 @@ def plan_pgbj(r: Dataset, s: Dataset, config: PgbjConfig) -> JoinPlan:
                 "kernel_provider": config.kernel_provider,
             },
         )
-        return job2, dfs.splits("partitioned")
+        return job2, chain_splits(config, dfs, "partitioned", job1.outputs)
 
     join = graph.stage("pgbj/join", build_join, deps=(partition,))
     stage_names = (partition.name, join.name)

@@ -34,7 +34,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.core.dataset import Dataset
-from repro.mapreduce.plan import JobGraph, PlanRun, PlanScheduler
+from repro.mapreduce.plan import JobGraph, PlanCache, PlanRun, PlanScheduler
 
 from .base import JoinConfig
 
@@ -183,6 +183,21 @@ def plan_join(
     return spec.plan(r, s, _resolve_config(spec, config), **extra)
 
 
+def _plan_cache_for(config: JoinConfig) -> PlanCache | None:
+    """The stage cache this run schedules with.
+
+    An explicitly attached ``config.plan_cache`` wins (the sweep-harness
+    pattern — possibly itself persistent); otherwise ``plan_cache_dir``
+    alone stands up a fresh persistent cache over that directory, so
+    cross-process reuse needs nothing but the path knob.
+    """
+    if config.plan_cache is not None:
+        return config.plan_cache
+    if config.plan_cache_dir:
+        return PlanCache(directory=config.plan_cache_dir)
+    return None
+
+
 def execute_join_plan(plan: JoinPlan, config: JoinConfig) -> Any:
     """Execute one plan on a fresh runtime scoped to it, then assemble.
 
@@ -197,7 +212,7 @@ def execute_join_plan(plan: JoinPlan, config: JoinConfig) -> Any:
             stack.enter_context(resource)
         run = PlanScheduler(
             runtime,
-            cache=config.plan_cache,
+            cache=_plan_cache_for(config),
             concurrent=config.plan_concurrency,
             checkpoint_dir=config.checkpoint_dir,
         ).execute(plan.graph)
@@ -218,6 +233,10 @@ def run_join(
     """
     spec = get_join(name)
     config = _resolve_config(spec, config)
+    if config.auto_tune:
+        from .autotune import auto_tune_config  # deferred: autotune imports us
+
+        config = auto_tune_config(name, r, s, config).config
     return execute_join_plan(spec.plan(r, s, config, **extra), config)
 
 
@@ -239,7 +258,7 @@ def run_join_plans(plans: list[JoinPlan], config: JoinConfig) -> list[Any]:
             stack.enter_context(resource)
         run = PlanScheduler(
             runtime,
-            cache=config.plan_cache,
+            cache=_plan_cache_for(config),
             concurrent=config.plan_concurrency,
             checkpoint_dir=config.checkpoint_dir,
         ).execute(fused)

@@ -49,7 +49,7 @@ from .base import (
     KnnJoinAlgorithm,
     StageStats,
 )
-from .block_framework import chain_splits, merge_job_spec
+from .block_framework import fused_or_chained, merge_job_spec
 from .kernel_providers import get_kernel_provider
 from .registry import JoinPlan, JoinSpec, register_join, run_join
 
@@ -249,9 +249,8 @@ def plan_zorder(r: Dataset, s: Dataset, config: ZOrderConfig) -> JoinPlan:
     join = graph.stage("zorder/join", build_join)
 
     def build_merge(ctx):
-        job1 = ctx.result_of(join)
-        return merge_job_spec(config), chain_splits(
-            config, dfs, "merge-input", job1.outputs
+        return merge_job_spec(config), fused_or_chained(
+            config, dfs, "merge-input", ctx, join
         )
 
     merge = graph.stage("zorder/merge", build_merge, deps=(join,))

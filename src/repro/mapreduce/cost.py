@@ -1,0 +1,294 @@
+"""Plan-time cost model: calibrated primitive rates and stage estimates.
+
+The adaptive-execution layer (``repro.joins.autotune``) prices candidate
+plans *before* running them.  This module holds the generic machinery:
+
+* :class:`CalibratedRates` — seconds-per-unit for the three primitives every
+  stage estimate decomposes into (a counted distance pair, a byte through
+  the shuffle/segment path, a record through the Python runtime).  Rates
+  come from :func:`calibrate`, a sub-second on-box microbench whose result
+  is cached to disk (JSON) so repeated CLI/bench invocations on one machine
+  pay it once; :data:`DEFAULT_RATES` is the deterministic fallback used when
+  calibration is disabled (tests, ``--explain`` without ``--calibrate``).
+* :class:`StageCostEstimate` — one stage's predicted volumes, mirroring the
+  measured :class:`~repro.mapreduce.runtime.JobStats` fields
+  (``shuffle_records``/``shuffle_bytes``/``merge passes``) so predictions
+  and measurements line up column-for-column.  ``work_seconds`` is the
+  total-work estimate — a pure, monotonically non-decreasing function of
+  every volume input, which the monotonicity tests rely on —
+  while ``wall_seconds`` additionally folds in per-reducer load shares from
+  the sampled histogram, so skew shows up as a longer critical path even
+  when total work is unchanged.
+* :class:`PlanCostEstimate` — the per-stage estimates of one join plan, in
+  stage order (the same shape a :class:`~repro.mapreduce.plan.PlanRun`
+  reports measurements in), plus the ``explain()`` rendering behind the
+  CLI's ``--explain``.
+
+Nothing here inspects datasets or join internals: callers supply volumes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import time
+import zlib
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "CalibratedRates",
+    "DEFAULT_RATES",
+    "calibrate",
+    "default_calibration_path",
+    "StageCostEstimate",
+    "PlanCostEstimate",
+]
+
+#: bump when the microbench or the rate fields change — stale caches reload
+_CALIBRATION_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CalibratedRates:
+    """Seconds per unit of each costed primitive.
+
+    ``calibrated`` distinguishes measured rates from the built-in defaults;
+    estimates scale linearly in the rates, so *relative* plan comparisons
+    (the auto-tuner's argmin) are stable under either.
+    """
+
+    seconds_per_pair: float
+    seconds_per_shuffle_byte: float
+    seconds_per_record: float
+    calibrated: bool = False
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+#: conservative interpreted-python rates; deterministic, never measured
+DEFAULT_RATES = CalibratedRates(
+    seconds_per_pair=2.0e-8,
+    seconds_per_shuffle_byte=1.5e-9,
+    seconds_per_record=2.0e-6,
+    calibrated=False,
+)
+
+
+def default_calibration_path() -> Path:
+    """Where :func:`calibrate` caches rates when no path is given.
+
+    ``REPRO_COST_CACHE`` overrides; otherwise a per-user file under the
+    system temp dir (the same policy the spill machinery uses for scratch).
+    """
+    override = os.environ.get("REPRO_COST_CACHE")
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / "repro-cost-calibration.json"
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Smallest wall time of ``repeats`` runs — robust to scheduler noise."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure_rates() -> CalibratedRates:
+    """The microbench proper: three ~millisecond primitives, best-of-3."""
+    rng = np.random.default_rng(0)
+
+    # distance pairs: one vectorised 512x512 L2 block, like the kernels
+    a = rng.standard_normal((512, 8))
+    b = rng.standard_normal((512, 8))
+
+    def pairs() -> None:
+        np.sqrt(((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=-1))
+
+    pair_s = _best_of(3, pairs) / (512 * 512)
+
+    # shuffle bytes: pickle + crc32, the segment wire path's two byte passes
+    payload = rng.standard_normal(32_768)  # 256 KiB of float64
+
+    def shuffle() -> None:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        zlib.crc32(blob)
+
+    approx_bytes = payload.nbytes
+    byte_s = _best_of(3, shuffle) / approx_bytes
+
+    # records: sort + group 50k keyed tuples, the reduce-input path in small
+    keyed = [((i * 2654435761) % 977, i) for i in range(50_000)]
+
+    def records() -> None:
+        grouped: dict[int, list[int]] = {}
+        for key, seq in sorted(keyed):
+            grouped.setdefault(key, []).append(seq)
+
+    record_s = _best_of(3, records) / len(keyed)
+
+    return CalibratedRates(
+        seconds_per_pair=max(pair_s, 1e-12),
+        seconds_per_shuffle_byte=max(byte_s, 1e-13),
+        seconds_per_record=max(record_s, 1e-10),
+        calibrated=True,
+    )
+
+
+#: process-local memo: path -> rates (avoids re-reading the JSON per call)
+_MEMO: dict[str, CalibratedRates] = {}
+
+
+def calibrate(cache_path: str | os.PathLike | None = None, force: bool = False) -> CalibratedRates:
+    """Measured per-primitive rates, cached to ``cache_path`` (JSON).
+
+    The cache survives across processes — the whole point: benches and CLI
+    runs on one box share a single sub-second calibration.  A missing,
+    stale-versioned or corrupt cache file triggers re-measurement; failures
+    to *write* the cache are ignored (read-only temp dirs degrade to
+    per-process calibration, never to an error).
+    """
+    path = Path(cache_path) if cache_path is not None else default_calibration_path()
+    memo_key = str(path)
+    if not force:
+        cached = _MEMO.get(memo_key)
+        if cached is not None:
+            return cached
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("version") == _CALIBRATION_VERSION:
+                rates = CalibratedRates(
+                    seconds_per_pair=float(payload["seconds_per_pair"]),
+                    seconds_per_shuffle_byte=float(payload["seconds_per_shuffle_byte"]),
+                    seconds_per_record=float(payload["seconds_per_record"]),
+                    calibrated=True,
+                )
+                _MEMO[memo_key] = rates
+                return rates
+        except (OSError, ValueError, KeyError, TypeError):
+            pass  # fall through to measurement
+    rates = _measure_rates()
+    _MEMO[memo_key] = rates
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps({"version": _CALIBRATION_VERSION, **rates.as_dict()})
+        )
+        os.replace(tmp, path)
+    except OSError:
+        pass
+    return rates
+
+
+@dataclass(frozen=True)
+class StageCostEstimate:
+    """Predicted volumes for one MapReduce stage of a plan.
+
+    ``reducer_loads`` carries the sampled per-reducer work shares (any
+    non-negative weights; only ratios matter) and feeds the skew-aware wall
+    estimate; leave empty when the stage has no meaningful reduce skew
+    picture.  ``planned_merge_passes`` mirrors the spill accounting: each
+    pass is one extra read+write of the stage's shuffle bytes.
+    """
+
+    name: str
+    map_records: int = 0
+    shuffle_records: int = 0
+    shuffle_bytes: int = 0
+    distance_pairs: float = 0.0
+    planned_merge_passes: int = 0
+    reducer_loads: tuple[float, ...] = ()
+    fused: bool = False
+
+    def work_seconds(self, rates: CalibratedRates) -> float:
+        """Total-work estimate: monotone non-decreasing in every volume."""
+        io_bytes = self.shuffle_bytes * (1 + max(0, self.planned_merge_passes))
+        return (
+            self.distance_pairs * rates.seconds_per_pair
+            + io_bytes * rates.seconds_per_shuffle_byte
+            + (self.map_records + self.shuffle_records) * rates.seconds_per_record
+        )
+
+    def wall_seconds(self, rates: CalibratedRates, workers: int) -> float:
+        """Critical-path estimate under ``workers``-way parallelism.
+
+        The heaviest reducer share lower-bounds the stage wall: perfectly
+        balanced work divides by ``workers``, skewed work does not.
+        """
+        work = self.work_seconds(rates)
+        if workers <= 1:
+            return work
+        balanced = work / workers
+        if not self.reducer_loads:
+            return balanced
+        total = sum(self.reducer_loads)
+        if total <= 0:
+            return balanced
+        return max(balanced, work * max(self.reducer_loads) / total)
+
+
+@dataclass(frozen=True)
+class PlanCostEstimate:
+    """Per-stage estimates of one join plan, in stage order."""
+
+    algorithm: str
+    stages: tuple[StageCostEstimate, ...]
+    rates: CalibratedRates = DEFAULT_RATES
+    workers: int = 1
+    knobs: tuple[tuple[str, object], ...] = ()
+    notes: tuple[str, ...] = ()
+
+    def work_seconds(self) -> float:
+        """Total predicted work across stages (monotone in every volume)."""
+        return sum(stage.work_seconds(self.rates) for stage in self.stages)
+
+    def wall_seconds(self) -> float:
+        """Predicted wall time: stages run in sequence on the critical path."""
+        return sum(
+            stage.wall_seconds(self.rates, self.workers) for stage in self.stages
+        )
+
+    def shuffle_bytes(self) -> int:
+        return sum(stage.shuffle_bytes for stage in self.stages)
+
+    def explain(self) -> str:
+        """Human-readable per-stage breakdown (the CLI's ``--explain``)."""
+        header = (
+            f"{'stage':<28} {'map recs':>10} {'shuf recs':>10} "
+            f"{'shuf bytes':>12} {'pairs':>14} {'passes':>6} {'est s':>9}"
+        )
+        lines = [
+            f"cost estimate: {self.algorithm} "
+            f"(workers={self.workers}, "
+            f"rates={'calibrated' if self.rates.calibrated else 'default'})",
+            header,
+            "-" * len(header),
+        ]
+        for stage in self.stages:
+            label = stage.name + (" [fused]" if stage.fused else "")
+            lines.append(
+                f"{label:<28} {stage.map_records:>10} {stage.shuffle_records:>10} "
+                f"{stage.shuffle_bytes:>12} {stage.distance_pairs:>14.0f} "
+                f"{stage.planned_merge_passes:>6} "
+                f"{stage.wall_seconds(self.rates, self.workers):>9.4f}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'total':<28} {'':>10} {'':>10} {self.shuffle_bytes():>12} "
+            f"{'':>14} {'':>6} {self.wall_seconds():>9.4f}"
+        )
+        if self.knobs:
+            rendered = ", ".join(f"{name}={value}" for name, value in self.knobs)
+            lines.append(f"knobs: {rendered}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

@@ -60,11 +60,14 @@ __all__ = [
     "Stage",
     "StageContext",
     "StageExecution",
+    "FusedOutput",
     "PlanRun",
     "PlanScheduler",
     "PlanCache",
     "PlanError",
     "StageCheckpointStore",
+    "dump_job_result",
+    "load_job_result",
 ]
 
 #: a stage builder: master-side work + the stage's job and splits (or
@@ -182,6 +185,26 @@ class JobGraph:
         return fused
 
 
+@dataclass(frozen=True)
+class FusedOutput:
+    """A builder-returned *splits* marker requesting plan-level map fusion.
+
+    A stage whose mapper is the identity (the shared candidate-merge stages)
+    may return ``(job, FusedOutput(source))`` instead of materialising its
+    input through ``chain_splits``: the scheduler then feeds the ``source``
+    stage's output pairs straight into the job's shuffle via
+    :meth:`~repro.mapreduce.runtime.LocalRuntime.run_premapped`, skipping the
+    identity map phase (and, for DFS-chained plans, a full write+read
+    round-trip of the intermediate).  ``source`` must be one of the stage's
+    declared dependencies.  Because reduce input ordering is defined by the
+    producer's global emission order — which fusion preserves — the fused
+    stage's results, counters and shuffle accounting are bit-identical to the
+    unfused run.
+    """
+
+    source: Stage
+
+
 @dataclass
 class StageExecution:
     """What one stage produced: its job result plus master-side bookkeeping.
@@ -196,6 +219,7 @@ class StageExecution:
     phases: dict[str, float] = field(default_factory=dict)
     from_cache: bool = False
     from_checkpoint: bool = False
+    fused: bool = False
     started_s: float = 0.0
     finished_s: float = 0.0
 
@@ -304,6 +328,103 @@ class PlanRun:
         """Names of stages restored from checkpoints, declaration order."""
         return [e.stage.name for e in self.executions if e.from_checkpoint]
 
+    def fused_stage_names(self) -> list[str]:
+        """Names of stages executed premapped (map fusion), declaration order."""
+        return [e.stage.name for e in self.executions if e.fused]
+
+
+#: key of the meta entry, first pair in every serialized-result segment file
+_RESULT_META_KEY = "__checkpoint__"
+
+
+def dump_job_result(
+    path: Path, result: JobResult, meta: dict[str, Any]
+) -> Path | None:
+    """Best-effort write of a :class:`JobResult` in the segment wire format.
+
+    The file starts with a meta entry (``meta`` merged with the result's job
+    name, reducer count, side outputs, counters and stats) followed by the
+    output pairs, each tagged with ``reducer + 1`` so ``outputs_by_reducer``
+    restores exactly.  Written to a temp name and atomically renamed — a kill
+    mid-save never leaves a truncated file.  Returns the path, or ``None``
+    when the result cannot be persisted (unpicklable values, disk errors).
+    """
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        full_meta = {
+            **meta,
+            "job_name": result.job_name,
+            "num_reducers": (
+                len(result.outputs_by_reducer)
+                if result.outputs_by_reducer is not None
+                else None
+            ),
+            "side_outputs": result.side_outputs,
+            "counters": result.counters,
+            "stats": result.stats,
+        }
+        entries: list[tuple] = [(0, 0, _RESULT_META_KEY, full_meta, 0, 0)]
+        seq = 1
+        if result.outputs_by_reducer is not None:
+            for reducer, pairs in enumerate(result.outputs_by_reducer):
+                for pair_key, value in pairs:
+                    entries.append((reducer + 1, seq, pair_key, value, 0, 0))
+                    seq += 1
+        else:
+            for pair_key, value in result.outputs:
+                entries.append((1, seq, pair_key, value, 0, 0))
+                seq += 1
+        tmp = path.with_name(path.name + ".tmp")
+        write_segment(tmp, 0, entries)
+        os.replace(tmp, path)
+        return path
+    except Exception:
+        return None
+
+
+def load_job_result(path: Path, expected: dict[str, Any]) -> JobResult | None:
+    """Read a :func:`dump_job_result` file back, or ``None`` on any defect.
+
+    ``expected`` items must all match the stored meta entry — the caller's
+    identity check (stage name, content-key repr) that keeps a stale or
+    foreign file from standing in for a different computation.  Corruption
+    (CRC mismatch, truncation, unpicklable entries, schema drift) also
+    returns ``None``: the caller just recomputes.
+    """
+    try:
+        entries = iter_segment(path)
+        first = next(entries, None)
+        if first is None:
+            return None
+        _, _, key, meta = first
+        if key != _RESULT_META_KEY or not isinstance(meta, dict):
+            return None
+        for check, value in expected.items():
+            if meta.get(check) != value:
+                return None
+        num_reducers = meta["num_reducers"]
+        by_reducer: list[list[tuple[Any, Any]]] | None = (
+            [[] for _ in range(num_reducers)] if num_reducers is not None else None
+        )
+        outputs: list[tuple[Any, Any]] = []
+        for task, _, pair_key, value in entries:
+            if by_reducer is not None:
+                by_reducer[task - 1].append((pair_key, value))
+            else:
+                outputs.append((pair_key, value))
+        if by_reducer is not None:
+            outputs = [pair for per_reducer in by_reducer for pair in per_reducer]
+        return JobResult(
+            job_name=meta["job_name"],
+            outputs=outputs,
+            outputs_by_reducer=by_reducer,
+            side_outputs=meta["side_outputs"],
+            counters=meta["counters"],
+            stats=meta["stats"],
+        )
+    except Exception:
+        return None
+
 
 class PlanCache:
     """Content-keyed memo of stage job executions, shared across plans.
@@ -318,24 +439,57 @@ class PlanCache:
     scheduled stages share one key (a fused sweep whose points all start
     from the same prefix), the first becomes the producer and the rest block
     until its result lands — the prefix executes exactly once, not once per
-    racer.  A producer that fails wakes one waiter to take over, so an
-    injected fault never wedges the sweep.  Entries live until :meth:`clear`
-    (results are plain values — nothing to close).
+    racer.  A producer that fails clears the in-flight reservation *before*
+    waking waiters, so the next waiter (or any later caller — including one
+    arriving after a second failure) re-enters the loop, finds no producer,
+    and takes over: an injected fault never wedges the sweep.  Entries live
+    until :meth:`clear` (results are plain values — nothing to close).
+
+    With a ``directory`` the cache is additionally **persistent**: every
+    produced result is serialized in the segment wire format (one file per
+    key, named by the SHA-1 of the key's ``repr`` — keys must therefore have
+    process-stable reprs, which the tuple-of-str/int stage keys do) and a
+    miss consults the directory before computing.  Writes are atomic
+    (temp + rename) and a corrupt, truncated or foreign file is treated as a
+    miss, so k-sweeps, bench reruns and service restarts reuse partitioning
+    work across *processes*, not just within one.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
         self._lock = threading.Lock()
         self._entries: dict[Hashable, JobResult] = {}
         self._inflight: dict[Hashable, threading.Event] = {}
+        self.directory = Path(directory) if directory is not None else None
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_writes = 0
+
+    def path_for(self, key: Hashable) -> Path:
+        """The segment file a persistent entry for ``key`` lives in."""
+        if self.directory is None:
+            raise ValueError("PlanCache has no directory")
+        digest = hashlib.sha1(repr(key).encode()).hexdigest()
+        return self.directory / f"{digest}.plan.seg"
+
+    def _load_disk(self, key: Hashable) -> JobResult | None:
+        if self.directory is None:
+            return None
+        return load_job_result(self.path_for(key), {"key_repr": repr(key)})
+
+    def _store_disk(self, key: Hashable, result: JobResult) -> None:
+        if self.directory is None:
+            return
+        if dump_job_result(self.path_for(key), result, {"key_repr": repr(key)}):
+            with self._lock:
+                self.disk_writes += 1
 
     def compute(self, key: Hashable, produce: Callable[[], JobResult]):
         """The entry for ``key``, producing it at most once across threads.
 
         Returns ``(result, fresh)`` — ``fresh=False`` means the result was
-        served from the cache (a hit), possibly after waiting for a
-        concurrent producer.
+        served from the cache (a memory or disk hit), possibly after waiting
+        for a concurrent producer.
         """
         while True:
             with self._lock:
@@ -345,17 +499,33 @@ class PlanCache:
                 event = self._inflight.get(key)
                 if event is None:
                     self._inflight[key] = threading.Event()
-                    self.misses += 1
-                    break  # this thread produces
+                    break  # this thread produces (or loads from disk)
             event.wait()  # a concurrent producer is running this key
         try:
-            result = produce()
+            loaded = self._load_disk(key)
         except BaseException:
-            # wake the waiters with no entry present: the next one retries
-            # the loop, finds no in-flight producer, and produces itself
             with self._lock:
                 self._inflight.pop(key).set()
             raise
+        if loaded is not None:
+            with self._lock:
+                self._entries[key] = loaded
+                self.disk_hits += 1
+                self._inflight.pop(key).set()
+            return loaded, False
+        with self._lock:
+            self.misses += 1
+        try:
+            result = produce()
+        except BaseException:
+            # clear the reservation first, then wake the waiters: the next
+            # one retries the loop, finds no in-flight producer, and produces
+            # itself — repeated failures just repeat this handoff, they never
+            # leave the key locked
+            with self._lock:
+                self._inflight.pop(key).set()
+            raise
+        self._store_disk(key, result)
         with self._lock:
             self._entries[key] = result
             self._inflight.pop(key).set()
@@ -368,9 +538,27 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def disk_entries(self) -> int:
+        """Number of persisted result files currently in the directory."""
+        if self.directory is None or not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.plan.seg"))
+
     def stats(self) -> dict[str, int]:
-        """``{"entries", "hits", "misses"}`` — stamped into bench records."""
-        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+        """``{"entries", "hits", "misses"}`` — stamped into bench records.
+
+        Persistent caches additionally report ``disk_hits`` (misses served
+        from the cache directory) and ``disk_writes``.
+        """
+        base = {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+        if self.directory is not None:
+            base["disk_hits"] = self.disk_hits
+            base["disk_writes"] = self.disk_writes
+        return base
 
 
 class StageCheckpointStore:
@@ -393,7 +581,7 @@ class StageCheckpointStore:
     """
 
     #: key of the meta entry, first in every checkpoint file
-    META_KEY = "__checkpoint__"
+    META_KEY = _RESULT_META_KEY
 
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
@@ -408,81 +596,20 @@ class StageCheckpointStore:
     def load(self, stage: Stage) -> JobResult | None:
         """The stage's checkpointed result, or ``None`` when there is none
         (missing, corrupt, or written for a different stage identity)."""
-        path = self.path_for(stage)
-        try:
-            entries = iter_segment(path)
-            first = next(entries, None)
-            if first is None:
-                return None
-            _, _, key, meta = first
-            if key != self.META_KEY or not isinstance(meta, dict):
-                return None
-            if meta.get("stage") != stage.name:
-                return None
-            if meta.get("key_repr") != repr(stage.key):
-                return None
-            num_reducers = meta["num_reducers"]
-            by_reducer: list[list[tuple[Any, Any]]] | None = (
-                [[] for _ in range(num_reducers)] if num_reducers is not None else None
-            )
-            outputs: list[tuple[Any, Any]] = []
-            for task, _, pair_key, value in entries:
-                if by_reducer is not None:
-                    by_reducer[task - 1].append((pair_key, value))
-                else:
-                    outputs.append((pair_key, value))
-            if by_reducer is not None:
-                outputs = [pair for per_reducer in by_reducer for pair in per_reducer]
-            return JobResult(
-                job_name=meta["job_name"],
-                outputs=outputs,
-                outputs_by_reducer=by_reducer,
-                side_outputs=meta["side_outputs"],
-                counters=meta["counters"],
-                stats=meta["stats"],
-            )
-        except Exception:
-            # any defect — CRC mismatch, truncation, unpicklable entry,
-            # stale schema — means "no checkpoint": the stage just re-runs
-            return None
+        return load_job_result(
+            self.path_for(stage),
+            {"stage": stage.name, "key_repr": repr(stage.key)},
+        )
 
     def save(self, stage: Stage, result: JobResult) -> Path | None:
         """Best-effort write of one stage's result; returns the path, or
         ``None`` when the result cannot be persisted (unpicklable outputs,
         disk errors) — resume then simply re-runs the stage."""
-        try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            path = self.path_for(stage)
-            meta = {
-                "stage": stage.name,
-                "key_repr": repr(stage.key),
-                "job_name": result.job_name,
-                "num_reducers": (
-                    len(result.outputs_by_reducer)
-                    if result.outputs_by_reducer is not None
-                    else None
-                ),
-                "side_outputs": result.side_outputs,
-                "counters": result.counters,
-                "stats": result.stats,
-            }
-            entries: list[tuple] = [(0, 0, self.META_KEY, meta, 0, 0)]
-            seq = 1
-            if result.outputs_by_reducer is not None:
-                for reducer, pairs in enumerate(result.outputs_by_reducer):
-                    for pair_key, value in pairs:
-                        entries.append((reducer + 1, seq, pair_key, value, 0, 0))
-                        seq += 1
-            else:
-                for pair_key, value in result.outputs:
-                    entries.append((1, seq, pair_key, value, 0, 0))
-                    seq += 1
-            tmp = path.with_name(path.name + ".tmp")
-            write_segment(tmp, 0, entries)
-            os.replace(tmp, path)
-            return path
-        except Exception:
-            return None
+        return dump_job_result(
+            self.path_for(stage),
+            result,
+            {"stage": stage.name, "key_repr": repr(stage.key)},
+        )
 
 
 class PlanScheduler:
@@ -585,18 +712,38 @@ class PlanScheduler:
                 execution.from_checkpoint = True
                 execution.finished_s = time.perf_counter()
                 return
+            produce = self._producer(run, node, execution, job, splits)
             if self.cache is not None and node.key is not None:
                 # coalesced: concurrent stages sharing this key (a fused
                 # sweep's common prefix) execute the job exactly once
-                result, fresh = self.cache.compute(
-                    node.key, lambda: self.runtime.run(job, splits)
-                )
+                result, fresh = self.cache.compute(node.key, produce)
                 execution.from_cache = not fresh
             else:
-                result = self.runtime.run(job, splits)
+                result = produce()
             execution.result = result
             if self.checkpoints is not None:
                 # cached results are saved too: resume must not depend on
                 # the (in-process) plan cache being warm
                 self.checkpoints.save(node, result)
         execution.finished_s = time.perf_counter()
+
+    def _producer(
+        self,
+        run: PlanRun,
+        node: Stage,
+        execution: StageExecution,
+        job: MapReduceJob,
+        splits: Sequence[InputSplit] | FusedOutput,
+    ) -> Callable[[], JobResult]:
+        """The thunk that executes the stage's job — plain or premapped."""
+        if not isinstance(splits, FusedOutput):
+            return lambda: self.runtime.run(job, splits)
+        source = splits.source
+        if all(dep is not source for dep in node.deps):
+            raise PlanError(
+                f"stage {node.name!r} fuses over {source.name!r} without "
+                "declaring it as a dependency"
+            )
+        pairs = run.result_of(source).outputs
+        execution.fused = True
+        return lambda: self.runtime.run_premapped(job, pairs)

@@ -262,6 +262,99 @@ class TestPlanCache:
         # a later caller hits the stored entry
         assert cache.compute(("k",), flaky_produce) == ("value", False)
 
+    def test_repeated_producer_failures_do_not_deadlock(self):
+        """A *second* failing producer must also hand off, never wedging
+        the remaining waiters (regression: the failure path clears the
+        reservation before waking, so every retry re-enters cleanly)."""
+        cache = PlanCache()
+        attempts = []
+
+        def produce():
+            attempts.append(threading.get_ident())
+            if len(attempts) <= 2:
+                raise RuntimeError(f"producer {len(attempts)} dies")
+            return "value"
+
+        outcomes = []
+
+        def worker():
+            try:
+                outcomes.append(cache.compute(("k",), produce))
+            except RuntimeError:
+                outcomes.append("raised")
+
+        workers = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join(timeout=10)
+        assert not any(thread.is_alive() for thread in workers)  # no deadlock
+        assert outcomes.count("raised") == 2
+        assert ("value", True) in outcomes
+        assert all(o == "raised" or o[0] == "value" for o in outcomes)
+        assert cache.compute(("k",), produce) == ("value", False)
+
+
+class TestPersistentPlanCache:
+    def test_cross_process_shaped_reuse(self, tmp_path):
+        """A fresh cache over the same directory (= a new process) serves
+        the stage from disk, bit-identical to the produced original."""
+        reference = None
+        for round_index in range(2):
+            cache = PlanCache(directory=tmp_path)
+            graph = JobGraph("g")
+            stage = job_stage(graph, "a", key=("norms", 1))
+            with LocalRuntime() as runtime:
+                run = PlanScheduler(runtime, cache=cache).execute(graph)
+            result = run.result_of(stage)
+            if round_index == 0:
+                reference = job_fingerprint(result)
+                assert cache.stats()["disk_writes"] == 1
+                assert cache.disk_entries() == 1
+            else:
+                assert cache.stats()["disk_hits"] == 1
+                assert cache.stats()["disk_writes"] == 0
+                assert job_fingerprint(result) == reference
+                assert run.cached_stage_names() == ["a"]
+
+    def test_corrupt_file_degrades_to_miss(self, tmp_path):
+        cache = PlanCache(directory=tmp_path)
+        graph = JobGraph("g")
+        job_stage(graph, "a", key=("norms", 1))
+        with LocalRuntime() as runtime:
+            PlanScheduler(runtime, cache=cache).execute(graph)
+        path = cache.path_for(("norms", 1))
+        for garbage in (b"", b"not a segment", path.read_bytes()[:20]):
+            path.write_bytes(garbage)
+            fresh = PlanCache(directory=tmp_path)
+            graph = JobGraph("g")
+            job_stage(graph, "a", key=("norms", 1))
+            with LocalRuntime() as runtime:
+                run = PlanScheduler(runtime, cache=fresh).execute(graph)
+            assert fresh.disk_hits == 0  # treated as a miss, not an error
+            assert fresh.disk_writes == 1  # and re-written intact
+            assert run.cached_stage_names() == []
+
+    def test_foreign_key_file_rejected(self, tmp_path):
+        """A valid segment written for a *different* key never aliases."""
+        cache = PlanCache(directory=tmp_path)
+        graph = JobGraph("g")
+        job_stage(graph, "a", key=("norms", 1))
+        with LocalRuntime() as runtime:
+            PlanScheduler(runtime, cache=cache).execute(graph)
+        other = PlanCache(directory=tmp_path)
+        cache.path_for(("other",)).write_bytes(cache.path_for(("norms", 1)).read_bytes())
+        graph = JobGraph("g")
+        job_stage(graph, "a", key=("other",))
+        with LocalRuntime() as runtime:
+            PlanScheduler(runtime, cache=other).execute(graph)
+        assert other.disk_hits == 0
+
+    def test_stats_omit_disk_keys_without_directory(self):
+        assert set(PlanCache().stats()) == {"entries", "hits", "misses"}
+        stats = PlanCache(directory=".").stats()
+        assert {"disk_hits", "disk_writes"} <= set(stats)
+
 
 # -- the hypothesis property: dependency order under random latencies ----------
 
